@@ -1,0 +1,34 @@
+"""Benchmark regenerating Figure 8: buffer hit ratios per tree component.
+
+Paper shape: the internal nodes -- the only component whose disk layout is
+optimised (siblings contiguous, level order) -- keep the highest hit ratio as
+the pool shrinks, while symbol and leaf accesses, which are random by nature,
+degrade first.
+"""
+
+from conftest import emit
+
+from repro.experiments import figure8
+
+POOL_FRACTIONS = (0.0625, 0.125, 0.25, 0.5, 1.0)
+QUERY_LIMIT = 8
+
+
+def test_bench_figure8(benchmark, config):
+    result = benchmark.pedantic(
+        figure8.run,
+        args=(config,),
+        kwargs={"pool_fractions": POOL_FRACTIONS, "query_limit": QUERY_LIMIT},
+        iterations=1,
+        rounds=1,
+    )
+    emit(result)
+
+    assert len(result.rows) == len(POOL_FRACTIONS)
+    # Hit ratios are probabilities and improve (weakly) with the pool size.
+    overall = [row.overall_hit_ratio for row in result.rows]
+    assert all(0.0 <= value <= 1.0 for value in overall)
+    assert overall[0] <= overall[-1] + 1e-9
+    # The paper's headline: internal nodes are the most resilient component
+    # when the pool is small.
+    assert result.internal_nodes_most_resilient()

@@ -1,0 +1,11 @@
+"""Setuptools shim.
+
+The pyproject.toml metadata is authoritative; this file exists so that the
+package can be installed in editable mode on environments whose pip lacks the
+``wheel`` package required by PEP 660 editable installs
+(``pip install -e . --no-use-pep517`` falls back to ``setup.py develop``).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,40 @@
+"""repro: a reproduction of OASIS (Meek, Patel, Kasetty -- VLDB 2003).
+
+OASIS is an online and *accurate* local-alignment search technique: it returns
+exactly the alignments Smith-Waterman would (nothing above the score threshold
+is ever missed), emits them in decreasing score order, and does so by driving
+a best-first dynamic-programming search over a suffix tree built on the
+sequence database.
+
+Quick start::
+
+    from repro import OasisEngine
+    from repro.datagen import SwissProtLikeGenerator
+    from repro.scoring import pam30, FixedGapModel
+
+    database = SwissProtLikeGenerator(seed=7, family_count=40).generate()
+    engine = OasisEngine.build(database, matrix=pam30(), gap_model=FixedGapModel(-8))
+    for hit in engine.search("MKVLAADTG", evalue=20_000):
+        print(hit.sequence_identifier, hit.score, hit.evalue)
+
+See ``DESIGN.md`` for the system inventory and ``EXPERIMENTS.md`` for the
+reproduction of every table and figure in the paper's evaluation section.
+"""
+
+from repro.core.engine import OasisEngine
+from repro.core.results import Alignment, SearchHit, SearchResult
+from repro.sequences.database import SequenceDatabase
+from repro.sequences.sequence import Sequence, SequenceRecord
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "OasisEngine",
+    "Alignment",
+    "SearchHit",
+    "SearchResult",
+    "SequenceDatabase",
+    "Sequence",
+    "SequenceRecord",
+    "__version__",
+]

@@ -1,0 +1,22 @@
+"""Baseline search engines the paper compares OASIS against.
+
+* :class:`SmithWatermanAligner` -- the accurate dynamic-programming reference
+  (Section 2.2); OASIS must agree with it exactly on the strongest alignment
+  score of every database sequence.
+* :class:`BlastLikeSearch` -- a word-seeded, extend-and-score heuristic in the
+  style of BLAST, used (as in the paper) purely as a speed/sensitivity
+  baseline.
+* :class:`NeedlemanWunschAligner` -- global alignment, provided for
+  completeness and used by the test-suite as an independent scoring check.
+"""
+
+from repro.baselines.smith_waterman import SmithWatermanAligner
+from repro.baselines.blast import BlastLikeSearch, BlastParameters
+from repro.baselines.needleman_wunsch import NeedlemanWunschAligner
+
+__all__ = [
+    "SmithWatermanAligner",
+    "BlastLikeSearch",
+    "BlastParameters",
+    "NeedlemanWunschAligner",
+]

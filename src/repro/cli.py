@@ -1,0 +1,171 @@
+"""Command-line interface: ``repro-oasis``.
+
+Sub-commands
+------------
+``generate``
+    Write a synthetic SWISS-PROT-like database (and optionally a motif
+    workload) to FASTA / text files.
+``search``
+    Run an OASIS search for one query against a FASTA database and print the
+    hits in decreasing score order.
+``experiment``
+    Run one of the paper's experiments (figure3 .. figure9, space) and print
+    its table.
+
+Examples
+--------
+::
+
+    repro-oasis generate --output proteins.fasta --families 30 --seed 7
+    repro-oasis search --database proteins.fasta --query MKVLAADTGLAV --evalue 20
+    repro-oasis experiment figure4 --scale tiny
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.engine import OasisEngine
+from repro.datagen.motifs import MotifWorkloadGenerator
+from repro.datagen.protein import SwissProtLikeGenerator
+from repro.scoring.data import available_matrices, load_matrix
+from repro.scoring.gaps import FixedGapModel
+from repro.sequences.fasta import read_fasta, write_fasta
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-oasis",
+        description="OASIS (VLDB 2003) reproduction: accurate online local-alignment search.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    generate = subparsers.add_parser("generate", help="generate a synthetic protein database")
+    generate.add_argument("--output", required=True, help="FASTA file to write")
+    generate.add_argument("--queries", help="optional file to write a motif workload to")
+    generate.add_argument("--families", type=int, default=25)
+    generate.add_argument("--singletons", type=int, default=40)
+    generate.add_argument("--query-count", type=int, default=100)
+    generate.add_argument("--seed", type=int, default=0)
+
+    search = subparsers.add_parser("search", help="search a FASTA database with OASIS")
+    search.add_argument("--database", required=True, help="FASTA file with the target sequences")
+    search.add_argument("--query", required=True, help="query sequence text")
+    search.add_argument(
+        "--matrix", default="PAM30", choices=available_matrices(), help="substitution matrix"
+    )
+    search.add_argument("--gap", type=int, default=-8, help="fixed gap penalty (negative)")
+    selectivity = search.add_mutually_exclusive_group()
+    selectivity.add_argument("--evalue", type=float, help="E-value cutoff (Equation 3)")
+    selectivity.add_argument("--min-score", type=int, help="raw minimum alignment score")
+    search.add_argument("--max-results", type=int, help="stop after this many hits (online mode)")
+
+    experiment = subparsers.add_parser("experiment", help="run one of the paper's experiments")
+    experiment.add_argument(
+        "name",
+        choices=[
+            "figure3",
+            "figure4",
+            "figure5",
+            "figure6",
+            "figure7",
+            "figure8",
+            "figure9",
+            "space",
+        ],
+    )
+    experiment.add_argument("--scale", default=None, help="dataset scale (tiny/small/medium)")
+    return parser
+
+
+def _command_generate(args: argparse.Namespace) -> int:
+    generator = SwissProtLikeGenerator(
+        seed=args.seed, family_count=args.families, singleton_count=args.singletons
+    )
+    database = generator.generate()
+    write_fasta(database, args.output)
+    print(
+        f"wrote {len(database)} sequences ({database.total_symbols} residues) to {args.output}"
+    )
+    if args.queries:
+        workload = MotifWorkloadGenerator(
+            generator, seed=args.seed + 1, query_count=args.query_count
+        ).generate()
+        with open(args.queries, "w", encoding="utf-8") as handle:
+            for query in workload:
+                handle.write(query.text + "\n")
+        print(f"wrote {len(workload)} queries to {args.queries}")
+    return 0
+
+
+def _command_search(args: argparse.Namespace) -> int:
+    database = read_fasta(args.database)
+    matrix = load_matrix(args.matrix)
+    engine = OasisEngine.build(database, matrix=matrix, gap_model=FixedGapModel(args.gap))
+    if args.evalue is None and args.min_score is None:
+        args.evalue = 10.0
+    result = engine.search(
+        args.query,
+        evalue=args.evalue,
+        min_score=args.min_score,
+        max_results=args.max_results,
+    )
+    if not result.hits:
+        print("no alignments above the threshold")
+        return 0
+    print(f"{'sequence':30s} {'score':>6s} {'E-value':>12s}")
+    for hit in result:
+        evalue = f"{hit.evalue:.3g}" if hit.evalue is not None else "-"
+        print(f"{hit.sequence_identifier:30s} {hit.score:6d} {evalue:>12s}")
+    print(
+        f"\n{len(result)} hits in {result.elapsed_seconds:.3f}s "
+        f"({result.columns_expanded} DP columns expanded)"
+    )
+    return 0
+
+
+def _command_experiment(args: argparse.Namespace) -> int:
+    from repro.experiments import default_config
+    from repro.experiments import (  # noqa: WPS235 - intentional registry import
+        figure3,
+        figure4,
+        figure5,
+        figure6,
+        figure7,
+        figure8,
+        figure9,
+        table_space,
+    )
+
+    modules = {
+        "figure3": figure3,
+        "figure4": figure4,
+        "figure5": figure5,
+        "figure6": figure6,
+        "figure7": figure7,
+        "figure8": figure8,
+        "figure9": figure9,
+        "space": table_space,
+    }
+    config = default_config(args.scale)
+    result = modules[args.name].run(config)
+    print(result.format_table())
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point used by the ``repro-oasis`` console script."""
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    handlers = {
+        "generate": _command_generate,
+        "search": _command_search,
+        "experiment": _command_experiment,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,30 @@
+"""OASIS core: the paper's primary contribution.
+
+The public entry point is :class:`repro.core.engine.OasisEngine`, which wraps
+index construction and exposes :meth:`~repro.core.engine.OasisEngine.search`
+(batch) and :meth:`~repro.core.engine.OasisEngine.search_online` (streaming,
+results emitted in decreasing score order).  The lower-level pieces --
+heuristic vector, search nodes, column expansion, priority-queue driver -- are
+available for inspection and ablation.
+"""
+
+from repro.core.results import Alignment, SearchHit, SearchResult, OnlineResultLog
+from repro.core.heuristic import compute_heuristic_vector
+from repro.core.search_node import NodeState, SearchNode
+from repro.core.oasis import OasisSearch, OasisSearchStatistics
+from repro.core.engine import OasisEngine
+from repro.core.evalue import SelectivityConverter
+
+__all__ = [
+    "Alignment",
+    "SearchHit",
+    "SearchResult",
+    "OnlineResultLog",
+    "compute_heuristic_vector",
+    "NodeState",
+    "SearchNode",
+    "OasisSearch",
+    "OasisSearchStatistics",
+    "OasisEngine",
+    "SelectivityConverter",
+]

@@ -1,0 +1,181 @@
+"""OasisEngine: the user-facing facade over index construction and search.
+
+Typical use::
+
+    from repro import OasisEngine
+    from repro.scoring import pam30, FixedGapModel
+
+    engine = OasisEngine.build(database, matrix=pam30(), gap_model=FixedGapModel(-8))
+    result = engine.search("DKDGDGCITTKEL", evalue=20_000)
+    for hit in result:
+        print(hit.sequence_identifier, hit.score, hit.evalue)
+
+The engine owns the suffix-tree index (in-memory by default; a disk-resident
+index built through :mod:`repro.storage` can be attached instead), the scoring
+configuration and the E-value conversion, and exposes both the batch
+(:meth:`search`) and the online/streaming (:meth:`search_online`) interfaces.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterator, Optional, Union
+
+from repro.core.evalue import SelectivityConverter
+from repro.core.oasis import OasisSearch, OasisSearchStatistics
+from repro.core.results import SearchHit, SearchResult
+from repro.scoring.gaps import FixedGapModel, GapModel
+from repro.scoring.matrix import SubstitutionMatrix
+from repro.sequences.database import SequenceDatabase
+from repro.storage.builder import build_disk_image
+from repro.storage.disk_tree import DEFAULT_BUFFER_POOL_BYTES, DiskSuffixTree
+from repro.suffixtree.cursor import SuffixTreeCursor
+from repro.suffixtree.generalized import GeneralizedSuffixTree
+from repro.suffixtree.partitioned import PartitionedTreeBuilder
+
+PathLike = Union[str, os.PathLike]
+
+
+class OasisEngine:
+    """An OASIS local-alignment search engine over one sequence database."""
+
+    def __init__(
+        self,
+        cursor: SuffixTreeCursor,
+        matrix: SubstitutionMatrix,
+        gap_model: GapModel = FixedGapModel(-1),
+        converter: Optional[SelectivityConverter] = None,
+    ):
+        self.cursor = cursor
+        self.matrix = matrix
+        self.gap_model = gap_model
+        self.converter = converter or SelectivityConverter(matrix, cursor.database)
+        self._search = OasisSearch(cursor, matrix, gap_model)
+
+    # ------------------------------------------------------------------ #
+    # Construction helpers
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def build(
+        cls,
+        database: SequenceDatabase,
+        matrix: SubstitutionMatrix,
+        gap_model: GapModel = FixedGapModel(-1),
+        partitioned: bool = False,
+        max_partition_size: int = 50_000,
+    ) -> "OasisEngine":
+        """Build an in-memory suffix-tree index and wrap it in an engine.
+
+        Set ``partitioned=True`` to use the memory-bounded Hunt-et-al.-style
+        construction (the result is identical; only the construction footprint
+        differs).
+        """
+        if partitioned:
+            tree: SuffixTreeCursor = PartitionedTreeBuilder(
+                max_partition_size=max_partition_size
+            ).build(database)
+        else:
+            tree = GeneralizedSuffixTree.build(database)
+        return cls(tree, matrix, gap_model)
+
+    @classmethod
+    def build_on_disk(
+        cls,
+        database: SequenceDatabase,
+        matrix: SubstitutionMatrix,
+        image_path: PathLike,
+        gap_model: GapModel = FixedGapModel(-1),
+        block_size: int = 2048,
+        buffer_pool_bytes: int = DEFAULT_BUFFER_POOL_BYTES,
+        simulated_miss_latency: float = 0.0,
+    ) -> "OasisEngine":
+        """Build the index, write the Section-3.4 disk image, search through it.
+
+        This is the configuration the paper's buffer-pool experiments
+        (Figures 7-8) use: every node and symbol access during the search goes
+        through the buffer pool of the returned engine's cursor.
+        """
+        tree = GeneralizedSuffixTree.build(database)
+        build_disk_image(tree, image_path, block_size=block_size)
+        disk = DiskSuffixTree(
+            image_path,
+            database,
+            buffer_pool_bytes=buffer_pool_bytes,
+            simulated_miss_latency=simulated_miss_latency,
+        )
+        return cls(disk, matrix, gap_model)
+
+    # ------------------------------------------------------------------ #
+    # Searching
+    # ------------------------------------------------------------------ #
+    @property
+    def database(self) -> SequenceDatabase:
+        return self.cursor.database
+
+    @property
+    def statistics(self) -> OasisSearchStatistics:
+        """Work counters of the most recent query."""
+        return self._search.statistics
+
+    def min_score_for(self, query: str, evalue: float) -> int:
+        """The ``min_score`` equivalent to an E-value cutoff for this query."""
+        return self.converter.min_score_for_evalue(evalue, len(query))
+
+    def search(
+        self,
+        query: str,
+        min_score: Optional[int] = None,
+        evalue: Optional[float] = None,
+        max_results: Optional[int] = None,
+        compute_alignments: bool = False,
+    ) -> SearchResult:
+        """Find the strongest alignment per sequence scoring above a threshold.
+
+        Exactly one of ``min_score`` / ``evalue`` must be given (the paper's
+        experiments specify E-values; Equation 3 converts them).  Results are
+        ordered by decreasing score and annotated with E-values.
+        """
+        threshold = self._resolve_threshold(query, min_score, evalue)
+        return self._search.search(
+            query,
+            min_score=threshold,
+            max_results=max_results,
+            compute_alignments=compute_alignments,
+            statistics_model=self.converter.parameters,
+        )
+
+    def search_online(
+        self,
+        query: str,
+        min_score: Optional[int] = None,
+        evalue: Optional[float] = None,
+        max_results: Optional[int] = None,
+        compute_alignments: bool = False,
+    ) -> Iterator[SearchHit]:
+        """Stream hits in decreasing score order (abort whenever satisfied)."""
+        threshold = self._resolve_threshold(query, min_score, evalue)
+        return self._search.run(
+            query,
+            min_score=threshold,
+            max_results=max_results,
+            compute_alignments=compute_alignments,
+            statistics_model=self.converter.parameters,
+        )
+
+    def _resolve_threshold(
+        self, query: str, min_score: Optional[int], evalue: Optional[float]
+    ) -> int:
+        if (min_score is None) == (evalue is None):
+            raise ValueError("specify exactly one of min_score or evalue")
+        if min_score is not None:
+            if min_score < 1:
+                raise ValueError("min_score must be at least 1")
+            return min_score
+        assert evalue is not None
+        return self.min_score_for(query, evalue)
+
+    def __repr__(self) -> str:
+        return (
+            f"OasisEngine(database={self.database.name!r}, matrix={self.matrix.name!r}, "
+            f"index={type(self.cursor).__name__})"
+        )

@@ -1,0 +1,78 @@
+"""Selectivity conversion between E-values and minimum alignment scores.
+
+OASIS controls selectivity through ``min_score`` while BLAST uses an E-value;
+Equations 2-3 of the paper relate the two.  :class:`SelectivityConverter`
+packages the conversion for one (matrix, database) pair so that experiments
+can be specified in terms of the E-values the paper reports (1 .. 20 000) and
+translated consistently for every engine.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional
+
+from repro.scoring.karlin_altschul import (
+    KarlinAltschulParameters,
+    estimate_karlin_altschul,
+)
+from repro.scoring.matrix import SubstitutionMatrix
+from repro.sequences.database import SequenceDatabase
+
+
+class SelectivityConverter:
+    """Convert between E-values and raw-score thresholds for one database.
+
+    Parameters
+    ----------
+    matrix:
+        The substitution matrix in use.
+    database:
+        The target database; its size and residue composition determine the
+        Karlin-Altschul constants.
+    frequencies:
+        Optional explicit background frequencies; the database's measured
+        residue frequencies are used when omitted.
+    """
+
+    def __init__(
+        self,
+        matrix: SubstitutionMatrix,
+        database: SequenceDatabase,
+        frequencies: Optional[Mapping[str, float]] = None,
+    ):
+        self.matrix = matrix
+        self.database = database
+        background = frequencies if frequencies is not None else database.residue_frequencies()
+        # Fall back to uniform frequencies for degenerate databases (e.g. a
+        # single-symbol test database) where the measured composition gives a
+        # non-negative expected score.
+        try:
+            self.parameters: KarlinAltschulParameters = estimate_karlin_altschul(
+                matrix, frequencies=background
+            )
+        except ValueError:
+            self.parameters = estimate_karlin_altschul(matrix)
+
+    @property
+    def database_size(self) -> int:
+        """``n`` in Equations 2-3: total residues in the database."""
+        return self.database.total_symbols
+
+    def min_score_for_evalue(self, evalue: float, query_length: int) -> int:
+        """Equation 3: the score threshold equivalent to an E-value cutoff."""
+        return self.parameters.min_score(evalue, query_length, self.database_size)
+
+    def evalue_for_score(self, score: float, query_length: int) -> float:
+        """Equation 2: the E-value of a raw alignment score."""
+        return self.parameters.evalue(score, query_length, self.database_size)
+
+    def bit_score(self, score: float) -> float:
+        """Normalised bit score of a raw score."""
+        return self.parameters.bit_score(score)
+
+    def __repr__(self) -> str:
+        return (
+            f"SelectivityConverter(matrix={self.matrix.name!r}, "
+            f"database={self.database.name!r}, lambda={self.parameters.lambda_:.4f}, "
+            f"K={self.parameters.k:.4f})"
+        )

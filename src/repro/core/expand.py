@@ -1,0 +1,247 @@
+"""Arc expansion: Algorithm 3, the core of OASIS.
+
+Expanding a suffix-tree node fills the portion of the Smith-Waterman matrix
+whose columns are labelled by the symbols on the node's incoming arc, seeded
+with the parent search node's final column.  Three things differ from plain
+Smith-Waterman:
+
+1. **No reset to zero.**  Restarting an alignment at a later target position
+   would duplicate work done on another tree path (every substring of the
+   database is the prefix of some suffix), so scores are allowed to go
+   negative -- and are then pruned.
+
+2. **Alignment pruning** (Section 3.2).  A cell is discarded (set to the
+   ``PRUNED`` sentinel) when
+   (a) its score is non-positive,
+   (b) even the optimistic heuristic cannot lift it above the strongest
+       alignment already found along this path, or
+   (c) it cannot reach the ``min_score`` threshold.
+
+3. **Early termination.**  After each column the expansion checks whether any
+   surviving cell could still beat the path's best alignment
+   (``f > max_score``) and whether it could still reach ``min_score``; if not,
+   the node is finished immediately and tagged ACCEPTED or UNVIABLE.
+
+The column update itself is vectorised: the horizontal and diagonal terms are
+straight NumPy expressions and the vertical (insertion) dependency
+``column[i] = max(candidate[i], column[i-1] + gap)`` is resolved with a
+running-maximum transform, so the per-cell work stays out of the Python
+interpreter.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.search_node import NodeState, PRUNED, SearchNode
+
+
+class ExpansionContext:
+    """Query-specific constants shared by every expansion of one search.
+
+    Holding them in one object (rather than passing half a dozen arrays
+    through every call) keeps :func:`expand_arc` signatures readable and lets
+    the statistics counters live in one place.
+    """
+
+    def __init__(
+        self,
+        query_codes: np.ndarray,
+        score_lookup: np.ndarray,
+        gap_penalty: int,
+        heuristic: np.ndarray,
+        min_score: int,
+        prune_non_positive: bool = True,
+        prune_dominated: bool = True,
+        prune_threshold: bool = True,
+        track_pruning: bool = False,
+    ):
+        if min_score < 1:
+            raise ValueError("min_score must be at least 1")
+        if gap_penalty >= 0:
+            raise ValueError("the gap penalty must be negative")
+        self.query_codes = np.asarray(query_codes)
+        self.score_lookup = score_lookup
+        self.gap_penalty = int(gap_penalty)
+        self.heuristic = np.asarray(heuristic, dtype=np.int64)
+        self.min_score = int(min_score)
+        self.query_length = len(self.query_codes)
+        # Offsets used by the running-maximum resolution of the vertical
+        # dependency; precomputed once per query.
+        self._offsets = self.gap_penalty * np.arange(self.query_length + 1, dtype=np.int64)
+        # Per-symbol substitution profile: profile[t][i-1] = S(q_i, t).
+        # Precomputing it once per query turns the per-column score lookup
+        # into a plain row read.
+        self.profile = np.ascontiguousarray(score_lookup[self.query_codes, :].T.astype(np.int64))
+        #: Rule switches (all on by default; the ablation benchmark turns
+        #: individual rules off to measure their contribution).  Disabling a
+        #: rule never changes the result set, only the amount of work.
+        self.prune_non_positive = prune_non_positive
+        self.prune_dominated = prune_dominated
+        self.prune_threshold = prune_threshold
+        #: When True, per-rule cell counts are accumulated (slightly slower).
+        self.track_pruning = track_pruning
+        #: Number of matrix columns expanded (the Figure 4 metric).
+        self.columns_expanded = 0
+        #: Number of individual cells pruned by each rule (only meaningful
+        #: when ``track_pruning`` is enabled).
+        self.pruned_non_positive = 0
+        self.pruned_dominated = 0
+        self.pruned_threshold = 0
+
+    # ------------------------------------------------------------------ #
+    def make_root_column(self) -> np.ndarray:
+        """The seed column of Algorithm 2: zeros, pruned where hopeless."""
+        column = np.zeros(self.query_length + 1, dtype=np.int64)
+        hopeless = self.heuristic < self.min_score
+        column[hopeless] = PRUNED
+        return column
+
+
+def expand_arc(
+    parent: SearchNode,
+    tree_node,
+    arc_symbols: np.ndarray,
+    is_leaf: bool,
+    context: ExpansionContext,
+) -> SearchNode:
+    """Algorithm 3: expand one suffix-tree arc below ``parent``.
+
+    Parameters
+    ----------
+    parent:
+        The search node being expanded (its ``column`` seeds the matrix).
+    tree_node:
+        The suffix-tree handle of the child node (stored on the result).
+    arc_symbols:
+        Integer codes labelling the child's incoming arc.
+    is_leaf:
+        Whether the child is a leaf (no further expansion is possible below
+        it, so a viable outcome is impossible).
+    context:
+        The per-query :class:`ExpansionContext`.
+
+    Returns
+    -------
+    SearchNode
+        A new search node tagged VIABLE, ACCEPTED or UNVIABLE.
+    """
+    gap = context.gap_penalty
+    heuristic = context.heuristic
+    min_score = context.min_score
+    profile = context.profile
+    offsets = context._offsets
+    all_rules = (
+        context.prune_non_positive and context.prune_dominated and context.prune_threshold
+    )
+
+    column = parent.column
+    if column is None:
+        raise ValueError("cannot expand below a node whose column was discarded")
+    max_score = parent.max_score
+    depth = parent.depth
+
+    best_ending_here = PRUNED
+    final_column: Optional[np.ndarray] = None
+
+    for symbol in arc_symbols:
+        depth += 1
+        substitution = profile[symbol]
+
+        # Row 0 (empty query prefix): only a deletion from the previous row-0
+        # entry is possible -- no reset to zero.
+        candidate = np.empty_like(column)
+        candidate[0] = column[0] + gap
+        candidate[1:] = np.maximum(column[1:] + gap, column[:-1] + substitution)
+        # Vertical (insertion) dependency, resolved without a Python loop:
+        #   new[i] = max(candidate[i], new[i-1] + gap)
+        #          = max_{k <= i} (candidate[k] + gap * (i - k))
+        new_column = np.maximum.accumulate(candidate - offsets) + offsets
+        context.columns_expanded += 1
+
+        column_best = int(new_column.max())
+        if column_best > max_score:
+            max_score = column_best
+        if column_best > best_ending_here:
+            best_ending_here = column_best
+
+        # --- Alignment pruning (Section 3.2) --------------------------- #
+        optimistic = new_column + heuristic
+        if all_rules and not context.track_pruning:
+            # Fast path: the three rules collapse into two comparisons.
+            #   dominated-or-hopeless  <=>  optimistic <= max(max_score, min_score - 1)
+            mask = (new_column <= 0) | (optimistic <= max(max_score, min_score - 1))
+        else:
+            non_positive = new_column <= 0
+            dominated = optimistic <= max_score
+            hopeless = optimistic < min_score
+            if context.track_pruning:
+                context.pruned_non_positive += int(non_positive.sum())
+                context.pruned_dominated += int((~non_positive & dominated).sum())
+                context.pruned_threshold += int((~non_positive & ~dominated & hopeless).sum())
+            mask = None
+            if context.prune_non_positive:
+                mask = non_positive
+            if context.prune_dominated:
+                mask = dominated if mask is None else (mask | dominated)
+            if context.prune_threshold:
+                mask = hopeless if mask is None else (mask | hopeless)
+        if mask is not None:
+            new_column[mask] = PRUNED
+            optimistic[mask] = PRUNED
+
+        column = new_column
+        final_column = new_column
+
+        # --- Early termination checks ---------------------------------- #
+        f_bound = int(optimistic.max())
+        if f_bound <= max_score:
+            # Nothing below this node can beat what the path already found.
+            state = NodeState.ACCEPTED if max_score >= min_score else NodeState.UNVIABLE
+            return SearchNode(
+                tree_node=tree_node,
+                column=None,
+                max_score=max_score,
+                f=max_score,
+                b=max_score,
+                state=state,
+                depth=depth,
+            )
+        if f_bound < min_score:
+            return SearchNode(
+                tree_node=tree_node,
+                column=None,
+                max_score=max_score,
+                f=f_bound,
+                b=best_ending_here,
+                state=NodeState.UNVIABLE,
+                depth=depth,
+            )
+
+    # All arc symbols processed and the node is still promising.
+    assert final_column is not None, "suffix tree arcs are never empty"
+    f_bound = int((final_column + heuristic).max())
+    if is_leaf:
+        # No further expansion is possible below a leaf: the strongest
+        # alignment along this path is whatever has been found already.
+        state = NodeState.ACCEPTED if max_score >= min_score else NodeState.UNVIABLE
+        return SearchNode(
+            tree_node=tree_node,
+            column=None,
+            max_score=max_score,
+            f=max_score,
+            b=max_score,
+            state=state,
+            depth=depth,
+        )
+    return SearchNode(
+        tree_node=tree_node,
+        column=final_column,
+        max_score=max_score,
+        f=f_bound,
+        b=best_ending_here,
+        state=NodeState.VIABLE,
+        depth=depth,
+    )

@@ -1,0 +1,41 @@
+"""The optimistic heuristic vector of Section 3.1.
+
+Entry ``h[i]`` is an upper bound on the score that can still be gained by
+aligning the remaining query portion ``q_{i+1} .. q_m`` against *any* target.
+OASIS adds it to the partial alignment scores to obtain the ``f`` value that
+orders the priority queue, so the bound must never underestimate
+(admissibility is what guarantees that results come out in decreasing score
+order and that nothing above the threshold is missed).
+
+With non-positive insertion/deletion penalties the bound is simply the sum of
+each remaining symbol's best possible substitution score; symbols whose best
+score is negative contribute nothing (the alignment is free to stop before
+them), hence the clamp at zero.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.scoring.matrix import SubstitutionMatrix
+
+
+def compute_heuristic_vector(query_codes: np.ndarray, matrix: SubstitutionMatrix) -> np.ndarray:
+    """Return ``h`` of length ``m + 1``: best achievable score after position i.
+
+    ``h[m]`` is 0 (nothing of the query remains); ``h[0]`` bounds the score of
+    any alignment of the full query.
+    """
+    query_codes = np.asarray(query_codes)
+    m = len(query_codes)
+    best_per_symbol = matrix.max_row_scores()[query_codes]
+    gains = np.maximum(best_per_symbol, 0).astype(np.int64)
+    heuristic = np.zeros(m + 1, dtype=np.int64)
+    # h[i] = h[i + 1] + gain of q_{i+1}; a reversed cumulative sum.
+    heuristic[:m] = gains[::-1].cumsum()[::-1]
+    return heuristic
+
+
+def maximum_possible_score(query_codes: np.ndarray, matrix: SubstitutionMatrix) -> int:
+    """The largest score any alignment of this query can achieve (``h[0]``)."""
+    return int(compute_heuristic_vector(query_codes, matrix)[0])

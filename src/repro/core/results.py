@@ -1,0 +1,186 @@
+"""Result types shared by OASIS and the baseline search engines.
+
+All three engines (OASIS, Smith-Waterman, the BLAST-like baseline) report
+their results as :class:`SearchResult` objects containing one
+:class:`SearchHit` per matching database sequence -- mirroring the paper's
+reporting convention of "the single strongest alignment for each sequence in
+the database".  OASIS additionally records *when* each hit was emitted
+relative to the start of the query (:class:`OnlineResultLog`), which is the
+quantity plotted in Figure 9.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class Alignment:
+    """A concrete local alignment between the query and one target sequence.
+
+    Coordinates are 0-based, end-exclusive, and local to the target sequence.
+    ``aligned_query``/``aligned_target`` are the padded alignment strings with
+    ``-`` marking gaps, as in Figure 1 of the paper.
+    """
+
+    score: int
+    query_start: int
+    query_end: int
+    target_start: int
+    target_end: int
+    aligned_query: str = ""
+    aligned_target: str = ""
+
+    @property
+    def query_span(self) -> int:
+        return self.query_end - self.query_start
+
+    @property
+    def target_span(self) -> int:
+        return self.target_end - self.target_start
+
+    @property
+    def length(self) -> int:
+        """Number of alignment columns (0 when the operations were not traced)."""
+        return len(self.aligned_query)
+
+    def identity(self) -> float:
+        """Fraction of alignment columns that are exact matches."""
+        if not self.aligned_query:
+            return 0.0
+        matches = sum(
+            1
+            for a, b in zip(self.aligned_query, self.aligned_target)
+            if a == b and a != "-"
+        )
+        return matches / len(self.aligned_query)
+
+    def pretty(self, width: int = 60) -> str:
+        """A two-row textual rendering of the alignment."""
+        if not self.aligned_query:
+            return f"<alignment score={self.score} (operations not traced)>"
+        lines: List[str] = []
+        for start in range(0, len(self.aligned_query), width):
+            q = self.aligned_query[start : start + width]
+            t = self.aligned_target[start : start + width]
+            marks = "".join("|" if a == b and a != "-" else " " for a, b in zip(q, t))
+            lines.extend([f"query  {q}", f"       {marks}", f"target {t}", ""])
+        return "\n".join(lines).rstrip()
+
+
+@dataclass
+class SearchHit:
+    """The strongest alignment found for one database sequence."""
+
+    sequence_index: int
+    sequence_identifier: str
+    score: int
+    evalue: Optional[float] = None
+    alignment: Optional[Alignment] = None
+    #: Seconds since the start of the query at which this hit was emitted
+    #: (only meaningful for the online engine; None otherwise).
+    emitted_at: Optional[float] = None
+
+    def __repr__(self) -> str:
+        evalue = f", evalue={self.evalue:.3g}" if self.evalue is not None else ""
+        return (
+            f"SearchHit({self.sequence_identifier!r}, score={self.score}{evalue})"
+        )
+
+
+@dataclass
+class SearchResult:
+    """The full outcome of one query against one database."""
+
+    query: str
+    engine: str
+    hits: List[SearchHit] = field(default_factory=list)
+    elapsed_seconds: float = 0.0
+    #: Number of dynamic-programming columns the engine expanded -- the
+    #: filtering-efficiency metric of Figure 4.
+    columns_expanded: int = 0
+    parameters: Dict[str, object] = field(default_factory=dict)
+
+    def __len__(self) -> int:
+        return len(self.hits)
+
+    def __iter__(self) -> Iterator[SearchHit]:
+        return iter(self.hits)
+
+    def __getitem__(self, index: int) -> SearchHit:
+        return self.hits[index]
+
+    @property
+    def best_hit(self) -> Optional[SearchHit]:
+        return self.hits[0] if self.hits else None
+
+    @property
+    def best_score(self) -> int:
+        return self.hits[0].score if self.hits else 0
+
+    def hit_for(self, sequence_identifier: str) -> Optional[SearchHit]:
+        """Look up the hit for one sequence, if any."""
+        for hit in self.hits:
+            if hit.sequence_identifier == sequence_identifier:
+                return hit
+        return None
+
+    def sequence_identifiers(self) -> List[str]:
+        return [hit.sequence_identifier for hit in self.hits]
+
+    def scores_by_sequence(self) -> Dict[str, int]:
+        return {hit.sequence_identifier: hit.score for hit in self.hits}
+
+    def sort_by_score(self) -> None:
+        """Order hits by decreasing score (ties broken by sequence index)."""
+        self.hits.sort(key=lambda hit: (-hit.score, hit.sequence_index))
+
+    def is_sorted_by_score(self) -> bool:
+        scores = [hit.score for hit in self.hits]
+        return all(a >= b for a, b in zip(scores, scores[1:]))
+
+
+@dataclass
+class OnlineResultLog:
+    """Emission timeline of an online search (the Figure 9 quantity).
+
+    Each entry is ``(seconds since query start, cumulative results emitted)``.
+    """
+
+    events: List[Tuple[float, int]] = field(default_factory=list)
+
+    def record(self, elapsed_seconds: float) -> None:
+        self.events.append((elapsed_seconds, len(self.events) + 1))
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    @property
+    def first_result_seconds(self) -> Optional[float]:
+        return self.events[0][0] if self.events else None
+
+    @property
+    def last_result_seconds(self) -> Optional[float]:
+        return self.events[-1][0] if self.events else None
+
+    def time_for_first(self, count: int) -> Optional[float]:
+        """Seconds needed to emit the first ``count`` results."""
+        if len(self.events) < count:
+            return None
+        return self.events[count - 1][0]
+
+    def series(self) -> List[Tuple[float, int]]:
+        """The raw (time, cumulative results) series for plotting/reporting."""
+        return list(self.events)
+
+
+def merge_best_hits(hits: Sequence[SearchHit]) -> List[SearchHit]:
+    """Keep only the strongest hit per sequence, ordered by decreasing score."""
+    best: Dict[int, SearchHit] = {}
+    for hit in hits:
+        existing = best.get(hit.sequence_index)
+        if existing is None or hit.score > existing.score:
+            best[hit.sequence_index] = hit
+    merged = sorted(best.values(), key=lambda h: (-h.score, h.sequence_index))
+    return merged

@@ -1,0 +1,84 @@
+"""Search nodes: the elements of the OASIS priority queue (Section 3).
+
+Each search node corresponds to one suffix-tree node and represents the
+partial alignments between the query and the portion of the database spelled
+by the path to that tree node.  The fields mirror the paper exactly:
+
+* ``tree_node`` -- the corresponding suffix tree node (``sn`` in the paper);
+* ``column`` -- the ``C`` vector: one Smith-Waterman column, ``column[i]``
+  holding the best score of an alignment ending at query position ``i`` and at
+  the end of the path (pruned entries hold a large negative sentinel);
+* ``max_score`` -- the strongest alignment found anywhere along the path;
+* ``f`` -- the optimistic bound on what further expansion can achieve (the
+  priority-queue key);
+* ``b`` -- the best score ending exactly at this node;
+* ``state`` -- VIABLE / ACCEPTED / UNVIABLE.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Optional
+
+import numpy as np
+
+#: Sentinel used for pruned alignment entries.  Large enough in magnitude to
+#: dominate any real score, small enough that adding substitution scores and
+#: heuristic bounds cannot overflow int64.
+PRUNED = -(10**15)
+
+
+class NodeState(enum.Enum):
+    """The status tags of Section 3 (``viable`` / ``accepted`` / ``unviable``)."""
+
+    VIABLE = "viable"
+    ACCEPTED = "accepted"
+    UNVIABLE = "unviable"
+
+
+@dataclass
+class SearchNode:
+    """One entry of the OASIS priority queue."""
+
+    tree_node: Any
+    column: Optional[np.ndarray]
+    max_score: int
+    f: int
+    b: int
+    state: NodeState
+    #: String depth of the corresponding tree node (how many target symbols
+    #: the path spells); useful for reporting and debugging.
+    depth: int = 0
+
+    @property
+    def is_accepted(self) -> bool:
+        return self.state is NodeState.ACCEPTED
+
+    @property
+    def is_viable(self) -> bool:
+        return self.state is NodeState.VIABLE
+
+    @property
+    def is_unviable(self) -> bool:
+        return self.state is NodeState.UNVIABLE
+
+    def __repr__(self) -> str:
+        return (
+            f"SearchNode(state={self.state.value}, f={self.f}, "
+            f"max_score={self.max_score}, depth={self.depth})"
+        )
+
+
+def make_queue_entry(node: SearchNode, counter: int) -> tuple:
+    """Build a heap entry for ``heapq`` (a min-heap, hence the negations).
+
+    The entry is a plain tuple ``(-f, accepted-first flag, counter, node)``:
+    accepted nodes sort before viable nodes of equal ``f`` so that a result
+    that is already provably optimal is emitted before more speculative work
+    is done -- this matches the behaviour described in the paper's example
+    (Section 3.3) and keeps the online stream as early as possible.  The
+    unique counter breaks all remaining ties, so the node itself is never
+    compared.
+    """
+    return (-node.f, 0 if node.is_accepted else 1, counter, node)

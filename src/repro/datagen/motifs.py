@@ -1,0 +1,166 @@
+"""ProClass-like motif query workload generator.
+
+The paper's query workload is a hundred short peptide motifs drawn from the
+ProClass database (lengths 6-56, average 16), i.e. short sequences that are
+conserved within a protein family and therefore have strong local alignments
+in SWISS-PROT.  :class:`MotifWorkloadGenerator` reproduces that construction
+against the synthetic database: it samples windows from the conserved cores of
+the generated families (optionally lightly mutated, as real motifs differ from
+any individual family member), plus a configurable fraction of random peptides
+that act as negative controls.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.datagen.protein import SwissProtLikeGenerator
+from repro.datagen.random_source import AMINO_ACID_FREQUENCIES, RandomSource
+
+_AMINO_ACIDS = "".join(AMINO_ACID_FREQUENCIES.keys())
+
+
+@dataclass(frozen=True)
+class MotifQuery:
+    """One query of the workload, with its provenance."""
+
+    text: str
+    source_family: Optional[str] = None
+    mutated_positions: int = 0
+
+    @property
+    def length(self) -> int:
+        return len(self.text)
+
+    def __str__(self) -> str:
+        return self.text
+
+
+@dataclass
+class MotifWorkload:
+    """A named collection of motif queries (the paper uses 100 of them)."""
+
+    queries: List[MotifQuery] = field(default_factory=list)
+    name: str = "proclass-like"
+
+    def __len__(self) -> int:
+        return len(self.queries)
+
+    def __iter__(self):
+        return iter(self.queries)
+
+    def __getitem__(self, index: int) -> MotifQuery:
+        return self.queries[index]
+
+    def texts(self) -> List[str]:
+        return [query.text for query in self.queries]
+
+    def by_length(self) -> Dict[int, List[MotifQuery]]:
+        """Group queries by their length (how the paper's figures are binned)."""
+        groups: Dict[int, List[MotifQuery]] = {}
+        for query in self.queries:
+            groups.setdefault(query.length, []).append(query)
+        return dict(sorted(groups.items()))
+
+    @property
+    def mean_length(self) -> float:
+        if not self.queries:
+            return 0.0
+        return sum(q.length for q in self.queries) / len(self.queries)
+
+
+class MotifWorkloadGenerator:
+    """Generate a short-query workload from a generated protein database.
+
+    Parameters
+    ----------
+    generator:
+        The :class:`SwissProtLikeGenerator` whose families the motifs are
+        drawn from (it must already have been used to generate a database).
+    seed:
+        Seed for the deterministic random source.
+    query_count:
+        Number of queries (the paper uses 100).
+    length_range:
+        ``(low, high)`` motif lengths; ProClass motifs span 6-56 residues.
+    mean_length:
+        Target mean length (ProClass average is ~16-17).
+    mutation_rate:
+        Per-residue probability of mutating a sampled motif.
+    random_fraction:
+        Fraction of queries that are unrelated random peptides (negative
+        controls; the remainder are family motifs).
+    """
+
+    def __init__(
+        self,
+        generator: SwissProtLikeGenerator,
+        seed: int = 0,
+        query_count: int = 100,
+        length_range: tuple = (6, 56),
+        mean_length: float = 16.0,
+        mutation_rate: float = 0.08,
+        random_fraction: float = 0.1,
+    ):
+        if not generator.families:
+            raise ValueError(
+                "the protein generator has no families; call generate() on it first"
+            )
+        if query_count < 1:
+            raise ValueError("query_count must be at least 1")
+        if not 0 <= random_fraction <= 1:
+            raise ValueError("random_fraction must be in [0, 1]")
+        self.generator = generator
+        self.seed = seed
+        self.query_count = query_count
+        self.length_range = length_range
+        self.mean_length = mean_length
+        self.mutation_rate = mutation_rate
+        self.random_fraction = random_fraction
+
+    def generate(self) -> MotifWorkload:
+        """Generate the workload (deterministic for a given configuration)."""
+        rng = RandomSource(self.seed)
+        queries: List[MotifQuery] = []
+        random_count = int(round(self.query_count * self.random_fraction))
+        family_count = self.query_count - random_count
+
+        families = self.generator.families
+        for _ in range(family_count):
+            family = rng.choice(families)
+            core = family.ancestor[family.core_start : family.core_end]
+            length = rng.length_from_range(
+                self.length_range[0],
+                min(self.length_range[1], max(self.length_range[0], len(family.ancestor))),
+                mean=self.mean_length,
+            )
+            # Prefer sampling inside the conserved core; fall back to the whole
+            # ancestor for motifs longer than the core.
+            source = core if length <= len(core) else family.ancestor
+            start = rng.randint(0, max(0, len(source) - length))
+            motif = list(source[start : start + length])
+            mutated = 0
+            for index in range(len(motif)):
+                if rng.random() < self.mutation_rate:
+                    motif[index] = rng.choice(_AMINO_ACIDS)
+                    mutated += 1
+            queries.append(
+                MotifQuery(
+                    text="".join(motif),
+                    source_family=family.name,
+                    mutated_positions=mutated,
+                )
+            )
+
+        for _ in range(random_count):
+            length = rng.length_from_range(*self.length_range, mean=self.mean_length)
+            queries.append(
+                MotifQuery(
+                    text=rng.weighted_sequence(AMINO_ACID_FREQUENCIES, length),
+                    source_family=None,
+                )
+            )
+
+        rng.shuffle(queries)
+        return MotifWorkload(queries=queries)

@@ -1,0 +1,230 @@
+"""SubstitutionMatrix: pairwise symbol scores used by every aligner.
+
+A substitution matrix assigns an integer score to every pair of alphabet
+symbols (Table 1 of the paper shows the "unit" edit-distance example).  The
+class below stores the scores both as a character-keyed mapping (for users)
+and as a dense NumPy lookup table aligned with the alphabet's integer codes
+(for the dynamic-programming kernels and the OASIS column expansion).
+
+Gap penalties are *not* part of the matrix; they are modelled separately by
+:mod:`repro.scoring.gaps` because the paper (and BLAST/S-W in general) treats
+the gap model as an independent parameter.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.sequences.alphabet import Alphabet, PROTEIN_ALPHABET
+
+
+class SubstitutionMatrix:
+    """A symmetric pairwise scoring matrix over an :class:`Alphabet`.
+
+    Parameters
+    ----------
+    name:
+        Matrix name, e.g. ``"PAM30"``.
+    alphabet:
+        The alphabet whose symbols the matrix scores.
+    scores:
+        A mapping ``{(a, b): score}`` over characters.  Missing pairs default
+        to ``default_mismatch``.  The matrix is symmetrised: if only ``(a, b)``
+        is given, ``(b, a)`` receives the same score; if both are given they
+        must agree.
+    default_mismatch:
+        Score used for symbol pairs not present in ``scores``.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        alphabet: Alphabet,
+        scores: Mapping[Tuple[str, str], int],
+        default_mismatch: int = -1,
+    ):
+        self.name = name
+        self.alphabet = alphabet
+        self.default_mismatch = int(default_mismatch)
+
+        size = alphabet.size_with_terminal
+        table = np.full((size, size), self.default_mismatch, dtype=np.int32)
+
+        seen: Dict[Tuple[int, int], int] = {}
+        for (a, b), value in scores.items():
+            ca, cb = alphabet.code(a), alphabet.code(b)
+            value = int(value)
+            for key in ((ca, cb), (cb, ca)):
+                if key in seen and seen[key] != value:
+                    raise ValueError(
+                        f"conflicting scores for pair {a!r}/{b!r} in matrix {name!r}: "
+                        f"{seen[key]} vs {value}"
+                    )
+                seen[key] = value
+            table[ca, cb] = value
+            table[cb, ca] = value
+
+        # Aligning anything against the terminal symbol is never allowed;
+        # a strongly negative score keeps it out of every optimal alignment.
+        terminal = alphabet.terminal_code
+        table[terminal, :] = np.iinfo(np.int16).min // 4
+        table[:, terminal] = np.iinfo(np.int16).min // 4
+
+        self._table = table
+
+    # ------------------------------------------------------------------ #
+    # Lookups
+    # ------------------------------------------------------------------ #
+    def score(self, a: str, b: str) -> int:
+        """Score for substituting character ``a`` with character ``b``."""
+        return int(self._table[self.alphabet.code(a.upper()), self.alphabet.code(b.upper())])
+
+    def score_codes(self, code_a: int, code_b: int) -> int:
+        """Score lookup by integer codes (used by the DP kernels)."""
+        return int(self._table[code_a, code_b])
+
+    @property
+    def lookup(self) -> np.ndarray:
+        """The dense ``(size, size)`` int32 lookup table (do not mutate)."""
+        return self._table
+
+    def row(self, code: int) -> np.ndarray:
+        """The scoring row for one symbol code, as an int32 vector."""
+        return self._table[code]
+
+    # ------------------------------------------------------------------ #
+    # Derived statistics
+    # ------------------------------------------------------------------ #
+    @property
+    def max_score(self) -> int:
+        """The largest score between two real (non-terminal) symbols."""
+        n = len(self.alphabet)
+        return int(self._table[:n, :n].max())
+
+    @property
+    def min_score(self) -> int:
+        """The smallest score between two real (non-terminal) symbols."""
+        n = len(self.alphabet)
+        return int(self._table[:n, :n].min())
+
+    def max_score_for(self, symbol: str) -> int:
+        """Best score achievable when aligning ``symbol`` against anything.
+
+        This is exactly the quantity OASIS's heuristic vector needs: the most
+        optimistic contribution of one query symbol (Section 3.1).
+        """
+        code = self.alphabet.code(symbol.upper())
+        return self.max_row_scores()[code]
+
+    def max_row_scores(self) -> np.ndarray:
+        """Vector of per-symbol maximum scores against any real symbol."""
+        n = len(self.alphabet)
+        maxima = self._table[:, :n].max(axis=1)
+        return maxima
+
+    def expected_score(self, frequencies: Optional[Mapping[str, float]] = None) -> float:
+        """Expected per-position score under background symbol frequencies.
+
+        A usable local-alignment matrix must have a negative expectation
+        (otherwise every long random alignment scores well); callers can use
+        this to validate custom matrices.  Uniform frequencies are assumed
+        when none are supplied.
+        """
+        n = len(self.alphabet)
+        if frequencies is None:
+            freq = np.full(n, 1.0 / n)
+        else:
+            freq = np.zeros(n)
+            for symbol, value in frequencies.items():
+                freq[self.alphabet.code(symbol)] = value
+            total = freq.sum()
+            if total <= 0:
+                raise ValueError("background frequencies must sum to a positive value")
+            freq = freq / total
+        sub = self._table[:n, :n].astype(float)
+        return float(freq @ sub @ freq)
+
+    def is_symmetric(self) -> bool:
+        """Whether the matrix is symmetric over real symbols (it always is)."""
+        n = len(self.alphabet)
+        return bool(np.array_equal(self._table[:n, :n], self._table[:n, :n].T))
+
+    # ------------------------------------------------------------------ #
+    # Presentation
+    # ------------------------------------------------------------------ #
+    def to_dict(self) -> Dict[Tuple[str, str], int]:
+        """Export the real-symbol scores as a character-keyed dictionary."""
+        result: Dict[Tuple[str, str], int] = {}
+        symbols = self.alphabet.symbols
+        for i, a in enumerate(symbols):
+            for b in symbols[i:]:
+                result[(a, b)] = self.score(a, b)
+        return result
+
+    def format_table(self, symbols: Optional[Iterable[str]] = None) -> str:
+        """Render the matrix as an aligned text table (for reports/tests)."""
+        symbols = list(symbols) if symbols is not None else list(self.alphabet.symbols)
+        width = max(4, max(len(str(self.score(a, b))) for a in symbols for b in symbols) + 1)
+        header = " " * 2 + "".join(f"{s:>{width}}" for s in symbols)
+        lines = [header]
+        for a in symbols:
+            row = f"{a:<2}" + "".join(f"{self.score(a, b):>{width}}" for b in symbols)
+            lines.append(row)
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (
+            f"SubstitutionMatrix(name={self.name!r}, alphabet={self.alphabet.name!r}, "
+            f"max={self.max_score}, min={self.min_score})"
+        )
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_match_mismatch(
+        cls,
+        name: str,
+        alphabet: Alphabet,
+        match: int,
+        mismatch: int,
+    ) -> "SubstitutionMatrix":
+        """Build a simple match/mismatch matrix (e.g. the paper's unit matrix)."""
+        scores = {(s, s): match for s in alphabet.symbols}
+        return cls(name, alphabet, scores, default_mismatch=mismatch)
+
+    @classmethod
+    def from_rows(
+        cls,
+        name: str,
+        alphabet: Alphabet,
+        column_symbols: str,
+        rows: Mapping[str, Iterable[int]],
+        default_mismatch: int = -1,
+    ) -> "SubstitutionMatrix":
+        """Build a matrix from row-per-symbol integer listings.
+
+        This mirrors the layout of the NCBI matrix data files: a string of
+        column symbols and, for each row symbol, the scores against each
+        column symbol in order.
+        """
+        scores: Dict[Tuple[str, str], int] = {}
+        columns = list(column_symbols)
+        for row_symbol, values in rows.items():
+            values = list(values)
+            if len(values) != len(columns):
+                raise ValueError(
+                    f"row {row_symbol!r} of matrix {name!r} has {len(values)} "
+                    f"values, expected {len(columns)}"
+                )
+            for column_symbol, value in zip(columns, values):
+                pair = (row_symbol, column_symbol)
+                mirrored = (column_symbol, row_symbol)
+                if mirrored in scores and scores[mirrored] != value:
+                    raise ValueError(
+                        f"matrix {name!r} is not symmetric at {row_symbol}/{column_symbol}"
+                    )
+                scores[pair] = value
+        return cls(name, alphabet, scores, default_mismatch=default_mismatch)

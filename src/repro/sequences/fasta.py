@@ -1,0 +1,126 @@
+"""Minimal FASTA reader / writer.
+
+The synthetic data generators produce :class:`SequenceDatabase` objects
+directly, but a downstream user who *does* have SWISS-PROT or a genome on disk
+can load it through these helpers and run the exact same experiments.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, Iterator, List, Optional, TextIO, Tuple, Union
+
+from repro.sequences.alphabet import Alphabet, PROTEIN_ALPHABET
+from repro.sequences.database import SequenceDatabase
+from repro.sequences.sequence import Sequence, SequenceRecord
+
+PathLike = Union[str, os.PathLike]
+
+
+class FastaFormatError(ValueError):
+    """Raised when a FASTA stream is malformed."""
+
+
+def _iter_fasta_entries(lines: Iterable[str]) -> Iterator[Tuple[str, str]]:
+    """Yield ``(header, sequence_text)`` pairs from raw FASTA lines."""
+    header: Optional[str] = None
+    chunks: List[str] = []
+    for line_number, raw in enumerate(lines, start=1):
+        line = raw.rstrip("\n")
+        if not line.strip():
+            continue
+        if line.startswith(">"):
+            if header is not None:
+                yield header, "".join(chunks)
+            header = line[1:].strip()
+            if not header:
+                raise FastaFormatError(f"empty FASTA header at line {line_number}")
+            chunks = []
+        else:
+            if header is None:
+                raise FastaFormatError(
+                    f"sequence data before any FASTA header at line {line_number}"
+                )
+            chunks.append(line.strip())
+    if header is not None:
+        yield header, "".join(chunks)
+
+
+def parse_fasta_text(
+    text: str,
+    alphabet: Alphabet = PROTEIN_ALPHABET,
+    name: str = "fasta",
+    strict: bool = False,
+) -> SequenceDatabase:
+    """Parse FASTA-formatted text into a :class:`SequenceDatabase`.
+
+    The first whitespace-separated token of each header becomes the record
+    identifier; the remainder of the header becomes the description.
+    """
+    database = SequenceDatabase(alphabet=alphabet, name=name)
+    for header, sequence_text in _iter_fasta_entries(text.splitlines()):
+        if not sequence_text:
+            raise FastaFormatError(f"record {header!r} has no sequence data")
+        parts = header.split(None, 1)
+        identifier = parts[0]
+        description = parts[1] if len(parts) > 1 else ""
+        record = SequenceRecord(
+            identifier=identifier,
+            sequence=Sequence(sequence_text, alphabet, strict=strict),
+            description=description,
+        )
+        database.add(record)
+    return database
+
+
+def read_fasta(
+    path: PathLike,
+    alphabet: Alphabet = PROTEIN_ALPHABET,
+    name: Optional[str] = None,
+    strict: bool = False,
+) -> SequenceDatabase:
+    """Read a FASTA file from disk into a :class:`SequenceDatabase`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    return parse_fasta_text(
+        text,
+        alphabet=alphabet,
+        name=name or os.path.basename(str(path)),
+        strict=strict,
+    )
+
+
+def write_fasta(
+    database_or_records: Union[SequenceDatabase, Iterable[SequenceRecord]],
+    destination: Union[PathLike, TextIO],
+    line_width: int = 60,
+) -> None:
+    """Write records to a FASTA file or file-like object.
+
+    Parameters
+    ----------
+    database_or_records:
+        A :class:`SequenceDatabase` or any iterable of records.
+    destination:
+        A path or an open text handle.
+    line_width:
+        Maximum number of sequence characters per line.
+    """
+    if line_width <= 0:
+        raise ValueError("line_width must be positive")
+
+    def _write(handle: TextIO) -> None:
+        for record in database_or_records:
+            header = record.identifier
+            if record.description:
+                header = f"{header} {record.description}"
+            handle.write(f">{header}\n")
+            text = record.text
+            for start in range(0, len(text), line_width):
+                handle.write(text[start : start + line_width] + "\n")
+
+    if hasattr(destination, "write"):
+        _write(destination)  # type: ignore[arg-type]
+    else:
+        with open(destination, "w", encoding="utf-8") as handle:
+            _write(handle)

@@ -1,0 +1,37 @@
+"""Disk-resident suffix tree: block layout, buffer pool, and disk cursor.
+
+Section 3.4 of the paper describes how the suffix tree is laid out on disk so
+that OASIS stays efficient when the index does not fit in memory:
+
+* three arrays -- symbols, internal nodes, leaf nodes -- each written out in
+  fixed-size disk blocks (2 KB in the paper's experiments);
+* internal nodes stored in level order so that siblings are contiguous
+  (a node expansion touches all of its children);
+* leaf nodes addressed by suffix start position, with explicit sibling links;
+* all reads go through a buffer pool with a clock replacement policy.
+
+This package reproduces that design.  The on-disk image is a real file; the
+buffer pool tracks hits and misses per region (the quantities plotted in
+Figures 7 and 8) and can charge a configurable latency per miss so that the
+2003-era disk behaviour can be simulated on a machine whose OS page cache
+would otherwise hide it.
+"""
+
+from repro.storage.blocks import BlockFile, BLOCK_SIZE_DEFAULT
+from repro.storage.buffer_pool import BufferPool, BufferPoolStatistics, Region
+from repro.storage.layout import DiskLayout, InternalNodeRecord, LeafNodeRecord
+from repro.storage.builder import build_disk_image
+from repro.storage.disk_tree import DiskSuffixTree
+
+__all__ = [
+    "BlockFile",
+    "BLOCK_SIZE_DEFAULT",
+    "BufferPool",
+    "BufferPoolStatistics",
+    "Region",
+    "DiskLayout",
+    "InternalNodeRecord",
+    "LeafNodeRecord",
+    "build_disk_image",
+    "DiskSuffixTree",
+]

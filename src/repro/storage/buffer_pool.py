@@ -1,0 +1,238 @@
+"""Buffer pool with a clock (second-chance) replacement policy.
+
+The paper's OASIS implementation "reads disk pages from a buffer pool, which
+uses a simple clock replacement policy" (Section 4.2), and Figures 7-8 study
+how the pool size affects query time and per-component hit ratios.  This
+module reproduces that component:
+
+* pages are keyed by ``(region, block number)`` so the three suffix-tree
+  regions (symbols, internal nodes, leaves) share one pool but their hit
+  ratios can be reported separately, exactly as in Figure 8;
+* replacement is the classic clock algorithm: a reference bit per frame, a
+  rotating hand, victims are frames whose bit is clear;
+* an optional *simulated miss latency* lets experiments charge a fixed cost
+  per physical read, so the 2003-era disk behaviour is visible even though a
+  modern OS page cache hides real read latency.
+"""
+
+from __future__ import annotations
+
+import enum
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.storage.blocks import BlockFile
+
+
+class Region(enum.IntEnum):
+    """The three components of the suffix-tree disk image (Section 3.4)."""
+
+    SYMBOLS = 0
+    INTERNAL_NODES = 1
+    LEAF_NODES = 2
+
+
+@dataclass
+class BufferPoolStatistics:
+    """Hit/miss counters, overall and per region."""
+
+    hits: int = 0
+    misses: int = 0
+    per_region_hits: Dict[Region, int] = field(
+        default_factory=lambda: {region: 0 for region in Region}
+    )
+    per_region_misses: Dict[Region, int] = field(
+        default_factory=lambda: {region: 0 for region in Region}
+    )
+    simulated_io_seconds: float = 0.0
+
+    @property
+    def requests(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_ratio(self) -> float:
+        """Fraction of page requests served from the pool (0 when idle)."""
+        return self.hits / self.requests if self.requests else 0.0
+
+    def region_hit_ratio(self, region: Region) -> float:
+        """Hit ratio for one suffix-tree component (the Figure 8 quantity)."""
+        total = self.per_region_hits[region] + self.per_region_misses[region]
+        return self.per_region_hits[region] / total if total else 0.0
+
+    def reset(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.simulated_io_seconds = 0.0
+        for region in Region:
+            self.per_region_hits[region] = 0
+            self.per_region_misses[region] = 0
+
+    def snapshot(self) -> Dict[str, float]:
+        """A plain-dict summary convenient for reports."""
+        return {
+            "requests": self.requests,
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_ratio": self.hit_ratio,
+            "symbols_hit_ratio": self.region_hit_ratio(Region.SYMBOLS),
+            "internal_hit_ratio": self.region_hit_ratio(Region.INTERNAL_NODES),
+            "leaf_hit_ratio": self.region_hit_ratio(Region.LEAF_NODES),
+            "simulated_io_seconds": self.simulated_io_seconds,
+        }
+
+
+class _Frame:
+    """One buffer frame: a cached page plus its clock reference bit."""
+
+    __slots__ = ("key", "data", "referenced")
+
+    def __init__(self) -> None:
+        self.key: Optional[Tuple[Region, int]] = None
+        self.data: bytes = b""
+        self.referenced: bool = False
+
+
+class BufferPool:
+    """A fixed-capacity page cache over a :class:`BlockFile`.
+
+    Parameters
+    ----------
+    block_file:
+        The backing device.
+    capacity_bytes:
+        Total pool size in bytes; the number of frames is
+        ``capacity_bytes // block_size`` (at least one frame).
+    region_offsets:
+        Maps each :class:`Region` to the block number at which it starts in
+        the file; page requests are addressed as (region, block-within-region)
+        and translated here.
+    simulated_miss_latency:
+        Seconds charged (accumulated in the statistics, and optionally slept)
+        for every physical read.  Defaults to 0.
+    sleep_on_miss:
+        When ``True`` the pool really sleeps for the simulated latency; by
+        default it only accounts for it, which keeps experiments fast while
+        still letting them report disk-bound timings.
+    """
+
+    def __init__(
+        self,
+        block_file: BlockFile,
+        capacity_bytes: int,
+        region_offsets: Dict[Region, int],
+        simulated_miss_latency: float = 0.0,
+        sleep_on_miss: bool = False,
+    ):
+        if capacity_bytes <= 0:
+            raise ValueError("capacity_bytes must be positive")
+        if simulated_miss_latency < 0:
+            raise ValueError("simulated_miss_latency must be non-negative")
+        self._file = block_file
+        self.block_size = block_file.block_size
+        self.frame_count = max(1, capacity_bytes // self.block_size)
+        self.capacity_bytes = self.frame_count * self.block_size
+        self._region_offsets = dict(region_offsets)
+        self.simulated_miss_latency = simulated_miss_latency
+        self.sleep_on_miss = sleep_on_miss
+
+        self._frames: List[_Frame] = [_Frame() for _ in range(self.frame_count)]
+        self._page_table: Dict[Tuple[Region, int], int] = {}
+        self._clock_hand = 0
+        self.statistics = BufferPoolStatistics()
+
+    # ------------------------------------------------------------------ #
+    # Page access
+    # ------------------------------------------------------------------ #
+    def get_page(self, region: Region, block_in_region: int) -> bytes:
+        """Return one page of ``region``, reading it on a miss."""
+        key = (region, block_in_region)
+        frame_index = self._page_table.get(key)
+        if frame_index is not None:
+            frame = self._frames[frame_index]
+            frame.referenced = True
+            self.statistics.hits += 1
+            self.statistics.per_region_hits[region] += 1
+            return frame.data
+
+        self.statistics.misses += 1
+        self.statistics.per_region_misses[region] += 1
+        data = self._read_physical(region, block_in_region)
+        self._install(key, data)
+        return data
+
+    def read_bytes(self, region: Region, byte_offset: int, length: int) -> bytes:
+        """Read an arbitrary byte range of a region through the pool."""
+        if length <= 0:
+            return b""
+        first_block = byte_offset // self.block_size
+        last_block = (byte_offset + length - 1) // self.block_size
+        chunks: List[bytes] = []
+        for block in range(first_block, last_block + 1):
+            chunks.append(self.get_page(region, block))
+        merged = b"".join(chunks)
+        start = byte_offset - first_block * self.block_size
+        return merged[start : start + length]
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _read_physical(self, region: Region, block_in_region: int) -> bytes:
+        if self.simulated_miss_latency:
+            self.statistics.simulated_io_seconds += self.simulated_miss_latency
+            if self.sleep_on_miss:
+                time.sleep(self.simulated_miss_latency)
+        absolute_block = self._region_offsets[region] + block_in_region
+        return self._file.read_block(absolute_block)
+
+    def _install(self, key: Tuple[Region, int], data: bytes) -> None:
+        """Place a page in a frame chosen by the clock algorithm."""
+        while True:
+            frame = self._frames[self._clock_hand]
+            if frame.key is None:
+                break
+            if not frame.referenced:
+                break
+            # Second chance: clear the bit and advance the hand.
+            frame.referenced = False
+            self._clock_hand = (self._clock_hand + 1) % self.frame_count
+
+        victim = self._frames[self._clock_hand]
+        if victim.key is not None:
+            del self._page_table[victim.key]
+        victim.key = key
+        victim.data = data
+        victim.referenced = True
+        self._page_table[key] = self._clock_hand
+        self._clock_hand = (self._clock_hand + 1) % self.frame_count
+
+    # ------------------------------------------------------------------ #
+    # Management
+    # ------------------------------------------------------------------ #
+    @property
+    def resident_pages(self) -> int:
+        """Number of pages currently cached."""
+        return len(self._page_table)
+
+    def contains(self, region: Region, block_in_region: int) -> bool:
+        """Whether a page is currently resident (used by tests)."""
+        return (region, block_in_region) in self._page_table
+
+    def clear(self) -> None:
+        """Drop every cached page (statistics are left untouched)."""
+        for frame in self._frames:
+            frame.key = None
+            frame.data = b""
+            frame.referenced = False
+        self._page_table.clear()
+        self._clock_hand = 0
+
+    def reset_statistics(self) -> None:
+        self.statistics.reset()
+
+    def __repr__(self) -> str:
+        return (
+            f"BufferPool(frames={self.frame_count}, block_size={self.block_size}, "
+            f"resident={self.resident_pages}, hit_ratio={self.statistics.hit_ratio:.3f})"
+        )

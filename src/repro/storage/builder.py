@@ -1,0 +1,174 @@
+"""Serializing an in-memory GeneralizedSuffixTree into the on-disk image.
+
+The paper constructs the tree with the partitioned technique and then
+"reorganizes the disk-representation" into the layout of Section 3.4.  This
+module is that reorganization step: it takes an in-memory tree (built by
+either builder) and writes the three-region block image, assigning internal
+node identifiers in level order so that siblings end up contiguous on disk.
+"""
+
+from __future__ import annotations
+
+import os
+from collections import deque
+from typing import Dict, List, Union
+
+from repro.storage.blocks import BLOCK_SIZE_DEFAULT, BlockFile
+from repro.storage.layout import (
+    DiskLayout,
+    FLAG_LAST_SIBLING,
+    InternalNodeRecord,
+    LeafNodeRecord,
+    NO_POINTER,
+)
+from repro.suffixtree.generalized import GeneralizedSuffixTree
+from repro.suffixtree.nodes import InternalNode, LeafNode
+
+PathLike = Union[str, os.PathLike]
+
+
+def build_disk_image(
+    tree: GeneralizedSuffixTree,
+    path: PathLike,
+    block_size: int = BLOCK_SIZE_DEFAULT,
+) -> DiskLayout:
+    """Write ``tree`` to ``path`` in the Section 3.4 disk layout.
+
+    Returns the :class:`DiskLayout` header describing the image (the same
+    header is stored in block 0 of the file, so the image is self-describing
+    apart from the sequence database itself).
+    """
+    database = tree.database
+    codes = database.concatenated_codes
+    symbol_count = len(codes)
+
+    # ------------------------------------------------------------------ #
+    # 1. Assign level-order identifiers to the internal nodes.
+    # ------------------------------------------------------------------ #
+    internal_nodes: List[InternalNode] = []
+    queue = deque([tree.root])
+    while queue:
+        node = queue.popleft()
+        node.node_id = len(internal_nodes)
+        internal_nodes.append(node)
+        for child in node.children:
+            if isinstance(child, InternalNode):
+                queue.append(child)
+
+    # ------------------------------------------------------------------ #
+    # 2. Build the internal-node and leaf records.
+    # ------------------------------------------------------------------ #
+    internal_records: List[InternalNodeRecord] = []
+    leaf_next_sibling: Dict[int, int] = {}
+
+    for node in internal_nodes:
+        internal_children = [c for c in node.children if isinstance(c, InternalNode)]
+        leaf_children = [c for c in node.children if isinstance(c, LeafNode)]
+
+        first_internal = internal_children[0].node_id if internal_children else NO_POINTER
+        first_leaf = leaf_children[0].suffix_start if leaf_children else NO_POINTER
+
+        # Chain the leaf children through their explicit sibling pointers.
+        for current, following in zip(leaf_children, leaf_children[1:]):
+            leaf_next_sibling[current.suffix_start] = following.suffix_start
+        if leaf_children:
+            leaf_next_sibling[leaf_children[-1].suffix_start] = NO_POINTER
+
+        internal_records.append(
+            InternalNodeRecord(
+                depth=node.depth,
+                symbol_ptr=node.edge_start,
+                first_internal_child=first_internal,
+                first_leaf_child=first_leaf,
+                flags=0,
+            )
+        )
+
+    # Mark last-sibling flags: for every parent, its last internal child
+    # terminates the contiguous sibling run.  (Level-order numbering makes
+    # internal children of one parent consecutive.)
+    flagged: List[InternalNodeRecord] = list(internal_records)
+    for node in internal_nodes:
+        internal_children = [c for c in node.children if isinstance(c, InternalNode)]
+        if internal_children:
+            last = internal_children[-1].node_id
+            record = flagged[last]
+            flagged[last] = InternalNodeRecord(
+                depth=record.depth,
+                symbol_ptr=record.symbol_ptr,
+                first_internal_child=record.first_internal_child,
+                first_leaf_child=record.first_leaf_child,
+                flags=record.flags | FLAG_LAST_SIBLING,
+            )
+    internal_records = flagged
+
+    # ------------------------------------------------------------------ #
+    # 3. Encode the three regions block by block.
+    # ------------------------------------------------------------------ #
+    layout = DiskLayout(
+        block_size=block_size,
+        symbol_count=symbol_count,
+        internal_count=len(internal_records),
+        leaf_slots=symbol_count,
+        sequence_count=len(database),
+        symbols_start_block=1,
+        internal_start_block=0,  # filled in below
+        leaves_start_block=0,
+    )
+    layout.internal_start_block = layout.symbols_start_block + layout.symbols_block_count
+    layout.leaves_start_block = layout.internal_start_block + layout.internal_block_count
+
+    with BlockFile(path, block_size=block_size, create=True) as block_file:
+        block_file.write_block(0, layout.pack_header())
+
+        # Symbols: one byte per symbol, block_size symbols per block.
+        symbol_bytes = codes.astype("uint8").tobytes()
+        _write_region(block_file, layout.symbols_start_block, symbol_bytes, block_size, block_size)
+
+        # Internal nodes: whole records per block.
+        per_block = layout.internal_records_per_block
+        internal_bytes = b"".join(record.pack() for record in internal_records)
+        _write_region(
+            block_file,
+            layout.internal_start_block,
+            internal_bytes,
+            block_size,
+            per_block * InternalNodeRecord.SIZE,
+        )
+
+        # Leaves: one slot per symbol position (slots at terminal positions or
+        # for suffixes without an explicit sibling stay NO_POINTER).
+        leaf_records = bytearray()
+        for position in range(symbol_count):
+            sibling = leaf_next_sibling.get(position, NO_POINTER)
+            leaf_records += LeafNodeRecord(sibling).pack()
+        per_block_leaves = layout.leaf_records_per_block
+        _write_region(
+            block_file,
+            layout.leaves_start_block,
+            bytes(leaf_records),
+            block_size,
+            per_block_leaves * LeafNodeRecord.SIZE,
+        )
+        block_file.flush()
+
+    return layout
+
+
+def _write_region(
+    block_file: BlockFile,
+    start_block: int,
+    data: bytes,
+    block_size: int,
+    payload_per_block: int,
+) -> None:
+    """Write a region, packing ``payload_per_block`` bytes into each block.
+
+    Records never straddle block boundaries: each block carries a whole number
+    of records (``payload_per_block`` bytes) followed by padding.
+    """
+    block_number = start_block
+    for offset in range(0, len(data), payload_per_block):
+        chunk = data[offset : offset + payload_per_block]
+        block_file.write_block(block_number, chunk)
+        block_number += 1

@@ -1,0 +1,239 @@
+"""DiskSuffixTree: cursor-style traversal of the on-disk image.
+
+Every node, arc-symbol and leaf access goes through the buffer pool, so the
+access pattern of a search (and therefore the hit ratios of Figure 8 and the
+degradation of Figure 7) is observable by the experiments.  The class
+implements the same :class:`~repro.suffixtree.cursor.SuffixTreeCursor`
+interface as the in-memory tree, which is what lets the OASIS engine run on
+either representation unchanged.
+
+Node handles are small immutable tuples::
+
+    ("I", internal_index, arc_start, arc_length, depth)
+    ("L", suffix_start,   arc_start, arc_length, depth)
+
+carrying exactly the information the paper's representation makes available
+locally: an internal node's arc length is its depth minus its parent's depth,
+and a leaf's arc runs from ``suffix_start + parent depth`` to the end of the
+suffix's sequence.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterator, List, Optional, Tuple, Union
+
+import numpy as np
+
+from repro.sequences.database import SequenceDatabase
+from repro.storage.blocks import BlockFile
+from repro.storage.buffer_pool import BufferPool, BufferPoolStatistics, Region
+from repro.storage.layout import (
+    DiskLayout,
+    InternalNodeRecord,
+    LeafNodeRecord,
+    NO_POINTER,
+)
+from repro.suffixtree.cursor import SuffixTreeCursor
+
+PathLike = Union[str, os.PathLike]
+
+#: 256 MB: the paper's default buffer pool size (Section 4.2).
+DEFAULT_BUFFER_POOL_BYTES = 256 * 1024 * 1024
+
+NodeHandle = Tuple[str, int, int, int, int]
+
+
+class DiskSuffixTree(SuffixTreeCursor):
+    """A read-only suffix tree backed by a Section-3.4 disk image.
+
+    Parameters
+    ----------
+    path:
+        Path of the image written by :func:`repro.storage.build_disk_image`.
+    database:
+        The sequence database the image was built from (provides the alphabet
+        and the global-to-local position mapping; symbol *content* is always
+        read from the image through the buffer pool).
+    buffer_pool_bytes:
+        Buffer pool capacity; the paper's experiments vary this from 32 MB to
+        512 MB (Figure 7).
+    simulated_miss_latency:
+        Seconds charged per physical block read (see
+        :class:`repro.storage.BufferPool`).
+    """
+
+    def __init__(
+        self,
+        path: PathLike,
+        database: SequenceDatabase,
+        buffer_pool_bytes: int = DEFAULT_BUFFER_POOL_BYTES,
+        simulated_miss_latency: float = 0.0,
+        sleep_on_miss: bool = False,
+    ):
+        database.freeze()
+        self._database = database
+        self._file = BlockFile(path, create=False)
+        header = self._file.read_block(0)
+        self.layout = DiskLayout.unpack_header(header)
+        if self.layout.block_size != self._file.block_size:
+            # Re-open with the image's real block size.
+            self._file.close()
+            self._file = BlockFile(path, block_size=self.layout.block_size, create=False)
+        if self.layout.symbol_count != database.total_symbols_with_terminals:
+            raise ValueError(
+                "disk image does not match the database: "
+                f"{self.layout.symbol_count} symbols on disk vs "
+                f"{database.total_symbols_with_terminals} in the database"
+            )
+        self.pool = BufferPool(
+            self._file,
+            capacity_bytes=buffer_pool_bytes,
+            region_offsets=self.layout.region_offsets(),
+            simulated_miss_latency=simulated_miss_latency,
+            sleep_on_miss=sleep_on_miss,
+        )
+        # Pre-compute per-sequence suffix ends (no disk access involved).
+        self._suffix_end = self._build_suffix_end_table()
+
+    def _build_suffix_end_table(self) -> np.ndarray:
+        ends = np.empty(self._database.total_symbols_with_terminals, dtype=np.int64)
+        for index, start in enumerate(self._database.sequence_starts):
+            terminal = start + len(self._database[index])
+            ends[start : terminal + 1] = terminal + 1
+        return ends
+
+    # ------------------------------------------------------------------ #
+    # Record access through the buffer pool
+    # ------------------------------------------------------------------ #
+    def _read_internal_record(self, index: int) -> InternalNodeRecord:
+        block, offset = self.layout.internal_page(index)
+        page = self.pool.get_page(Region.INTERNAL_NODES, block)
+        return InternalNodeRecord.unpack(page[offset : offset + InternalNodeRecord.SIZE])
+
+    def _read_leaf_record(self, index: int) -> LeafNodeRecord:
+        block, offset = self.layout.leaf_page(index)
+        page = self.pool.get_page(Region.LEAF_NODES, block)
+        return LeafNodeRecord.unpack(page[offset : offset + LeafNodeRecord.SIZE])
+
+    def _read_symbols(self, start: int, length: int) -> np.ndarray:
+        if length <= 0:
+            return np.empty(0, dtype=np.int16)
+        raw = self.pool.read_bytes(Region.SYMBOLS, start, length)
+        return np.frombuffer(raw, dtype=np.uint8).astype(np.int16)
+
+    # ------------------------------------------------------------------ #
+    # Cursor interface
+    # ------------------------------------------------------------------ #
+    @property
+    def database(self) -> SequenceDatabase:
+        return self._database
+
+    @property
+    def root(self) -> NodeHandle:
+        return ("I", 0, 0, 0, 0)
+
+    def is_leaf(self, node: NodeHandle) -> bool:
+        return node[0] == "L"
+
+    def children(self, node: NodeHandle) -> List[NodeHandle]:
+        if node[0] != "I":
+            return []
+        _, index, _, _, depth = node
+        record = self._read_internal_record(index)
+        handles: List[NodeHandle] = []
+
+        # Internal children: contiguous records starting at first_internal_child.
+        child_index = record.first_internal_child
+        if child_index != NO_POINTER:
+            while True:
+                child = self._read_internal_record(child_index)
+                arc_length = child.depth - depth
+                handles.append(("I", child_index, child.symbol_ptr, arc_length, child.depth))
+                if child.is_last_sibling:
+                    break
+                child_index += 1
+
+        # Leaf children: a chain through explicit sibling pointers.
+        leaf_index = record.first_leaf_child
+        while leaf_index != NO_POINTER:
+            suffix_end = int(self._suffix_end[leaf_index])
+            arc_start = leaf_index + depth
+            arc_length = suffix_end - arc_start
+            handles.append(("L", leaf_index, arc_start, arc_length, suffix_end - leaf_index))
+            leaf_index = self._read_leaf_record(leaf_index).next_sibling
+
+        return handles
+
+    def arc(self, node: NodeHandle) -> Tuple[int, int]:
+        return node[2], node[3]
+
+    def arc_symbols(self, node: NodeHandle) -> np.ndarray:
+        return self._read_symbols(node[2], node[3])
+
+    def string_depth(self, node: NodeHandle) -> int:
+        return node[4]
+
+    def suffix_start(self, node: NodeHandle) -> int:
+        if node[0] != "L":
+            raise TypeError("suffix_start is only defined for leaves")
+        return node[1]
+
+    def leaf_positions(self, node: NodeHandle) -> Iterator[int]:
+        stack: List[NodeHandle] = [node]
+        while stack:
+            current = stack.pop()
+            if current[0] == "L":
+                yield current[1]
+            else:
+                stack.extend(reversed(self.children(current)))
+
+    # ------------------------------------------------------------------ #
+    # Convenience API mirroring the in-memory tree
+    # ------------------------------------------------------------------ #
+    def contains(self, query: str) -> bool:
+        """Exact substring membership, evaluated entirely through the pool."""
+        codes = self._database.alphabet.encode(query.upper())
+        return self.find_exact(codes) is not None
+
+    def find_occurrences(self, query: str) -> List[Tuple[int, int]]:
+        """All ``(sequence index, local offset)`` occurrences of ``query``."""
+        codes = self._database.alphabet.encode(query.upper())
+        node = self.find_exact(codes)
+        if node is None:
+            return []
+        return sorted(self.occurrences_below(node))
+
+    @property
+    def statistics(self) -> BufferPoolStatistics:
+        """Buffer pool statistics (hits, misses, per-region ratios)."""
+        return self.pool.statistics
+
+    @property
+    def internal_node_count(self) -> int:
+        return self.layout.internal_count
+
+    @property
+    def bytes_per_symbol(self) -> float:
+        """Index space utilisation (the paper reports 12.5 bytes/symbol)."""
+        # The space table divides by database symbols excluding terminals.
+        return self.layout.index_size_bytes / max(1, self._database.total_symbols)
+
+    def reset_statistics(self) -> None:
+        self.pool.reset_statistics()
+
+    def close(self) -> None:
+        self._file.close()
+
+    def __enter__(self) -> "DiskSuffixTree":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"DiskSuffixTree(path={self._file.path!r}, "
+            f"internal={self.layout.internal_count}, "
+            f"pool_frames={self.pool.frame_count})"
+        )

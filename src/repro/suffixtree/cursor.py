@@ -1,0 +1,120 @@
+"""The cursor interface that decouples OASIS from the tree representation.
+
+The OASIS search only ever needs a handful of operations on the suffix tree:
+get the root, enumerate a node's children, read the symbols on a node's
+incoming arc, and enumerate the suffix positions below a node.  Expressing
+those operations as an abstract *cursor* lets the same search code run against
+
+* the in-memory tree (:class:`repro.suffixtree.GeneralizedSuffixTree`), and
+* the disk-resident tree read through a buffer pool
+  (:class:`repro.storage.DiskSuffixTree`),
+
+which is exactly the split the paper's experiments need: algorithmic results
+use whichever is convenient, while the buffer-pool experiments (Figures 7-8)
+must go through the disk representation.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.sequences.database import SequenceDatabase
+
+#: Opaque node handle.  In-memory cursors use node objects; the disk cursor
+#: uses small immutable tuples.
+NodeHandle = Any
+
+
+class SuffixTreeCursor(ABC):
+    """Read-only traversal interface over a generalized suffix tree."""
+
+    @property
+    @abstractmethod
+    def database(self) -> SequenceDatabase:
+        """The sequence database the tree indexes."""
+
+    @property
+    @abstractmethod
+    def root(self) -> NodeHandle:
+        """Handle of the root node."""
+
+    @abstractmethod
+    def is_leaf(self, node: NodeHandle) -> bool:
+        """Whether ``node`` is a leaf."""
+
+    @abstractmethod
+    def children(self, node: NodeHandle) -> List[NodeHandle]:
+        """Child handles of an internal node, in symbol order."""
+
+    @abstractmethod
+    def arc(self, node: NodeHandle) -> Tuple[int, int]:
+        """``(start, length)`` of the incoming arc label in the symbol array."""
+
+    @abstractmethod
+    def arc_symbols(self, node: NodeHandle) -> np.ndarray:
+        """The integer codes labelling the incoming arc."""
+
+    @abstractmethod
+    def string_depth(self, node: NodeHandle) -> int:
+        """Total label length from the root down to ``node``."""
+
+    @abstractmethod
+    def suffix_start(self, node: NodeHandle) -> int:
+        """For a leaf: the global start position of its suffix."""
+
+    @abstractmethod
+    def leaf_positions(self, node: NodeHandle) -> Iterator[int]:
+        """Suffix start positions of every leaf in the subtree under ``node``."""
+
+    # ------------------------------------------------------------------ #
+    # Derived helpers shared by all implementations
+    # ------------------------------------------------------------------ #
+    def sequences_below(self, node: NodeHandle) -> List[int]:
+        """Distinct database sequence indices among the leaves under ``node``."""
+        seen: List[int] = []
+        seen_set = set()
+        for position in self.leaf_positions(node):
+            sequence_index, _ = self.database.locate(position)
+            if sequence_index not in seen_set:
+                seen_set.add(sequence_index)
+                seen.append(sequence_index)
+        return seen
+
+    def occurrences_below(self, node: NodeHandle) -> List[Tuple[int, int]]:
+        """``(sequence index, local offset)`` of every leaf under ``node``."""
+        return [self.database.locate(position) for position in self.leaf_positions(node)]
+
+    def arc_label(self, node: NodeHandle) -> str:
+        """Human-readable label of the incoming arc (debugging and examples)."""
+        return self.database.alphabet.decode(self.arc_symbols(node))
+
+    def find_exact(self, query_codes: Sequence[int]) -> NodeHandle | None:
+        """Locate the node whose path spells ``query_codes`` (Section 2.3.1).
+
+        Returns the handle of the shallowest node at or below the end of the
+        match, or ``None`` when the query does not occur in the database.
+        """
+        query = np.asarray(query_codes)
+        node = self.root
+        matched = 0
+        while matched < len(query):
+            advanced = False
+            for child in self.children(node):
+                symbols = self.arc_symbols(child)
+                if len(symbols) == 0 or symbols[0] != query[matched]:
+                    continue
+                compare = min(len(symbols), len(query) - matched)
+                if not np.array_equal(symbols[:compare], query[matched : matched + compare]):
+                    return None
+                matched += compare
+                node = child
+                advanced = True
+                break
+            if not advanced:
+                return None
+            if self.is_leaf(node) and matched < len(query):
+                return None
+        return node

@@ -1,0 +1,203 @@
+"""GeneralizedSuffixTree: the in-memory index over a SequenceDatabase.
+
+This is the structure of Section 2.3: a compact suffix tree representing every
+suffix of every database sequence, with each sequence terminated by the ``$``
+symbol.  Construction goes through a suffix array (per-sequence distinct
+terminal codes guarantee that no suffix is a prefix of another, so every
+suffix gets its own leaf), which keeps the pure-Python overhead manageable for
+databases in the hundreds of thousands to millions of symbols.
+
+The class implements :class:`repro.suffixtree.cursor.SuffixTreeCursor`, so the
+OASIS search can run on it directly; it is also the input to the disk-image
+builder in :mod:`repro.storage`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.sequences.database import SequenceDatabase
+from repro.suffixtree.construction import build_tree_from_suffix_array, validate_tree
+from repro.suffixtree.cursor import SuffixTreeCursor
+from repro.suffixtree.nodes import InternalNode, LeafNode, SuffixTreeNode, count_nodes, iter_leaves
+from repro.suffixtree.suffix_array import build_lcp_array, build_suffix_array
+
+
+class GeneralizedSuffixTree(SuffixTreeCursor):
+    """A generalized suffix tree over all sequences of a database.
+
+    Use :meth:`build` to construct one:
+
+    >>> from repro.sequences import SequenceDatabase, DNA_ALPHABET
+    >>> db = SequenceDatabase.from_texts(["AGTACGCCTAG"], alphabet=DNA_ALPHABET)
+    >>> tree = GeneralizedSuffixTree.build(db)
+    >>> tree.contains("TACG")
+    True
+    """
+
+    def __init__(self, database: SequenceDatabase, root: InternalNode):
+        database.freeze()
+        self._database = database
+        self._root = root
+        self._codes = database.concatenated_codes
+        self._counts = count_nodes(root)
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def build(cls, database: SequenceDatabase) -> "GeneralizedSuffixTree":
+        """Build the tree for every suffix of every sequence in ``database``."""
+        database.freeze()
+        construction_codes, suffix_end, sequence_of = cls._construction_arrays(database)
+
+        suffix_array = build_suffix_array(construction_codes)
+        lcp = build_lcp_array(construction_codes, suffix_array)
+
+        # Suffixes that begin at a terminal symbol carry no alignable content;
+        # terminals sort after every real symbol, so they form a contiguous
+        # tail of the suffix array that we simply drop.
+        terminal_base = database.alphabet.size_with_terminal
+        keep = construction_codes[suffix_array] < terminal_base
+        kept_positions = suffix_array[keep]
+        kept_lcp = lcp[keep]
+        if len(kept_lcp):
+            kept_lcp = kept_lcp.copy()
+            kept_lcp[0] = 0
+
+        root = build_tree_from_suffix_array(
+            kept_positions.tolist(),
+            kept_lcp.tolist(),
+            suffix_end_of=lambda position: int(suffix_end[position]),
+            sequence_index_of=lambda position: int(sequence_of[position]),
+        )
+        return cls(database, root)
+
+    @staticmethod
+    def _construction_arrays(
+        database: SequenceDatabase,
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Per-position helper arrays used by the builders.
+
+        Returns ``(construction_codes, suffix_end, sequence_of)`` where
+        ``construction_codes`` replaces each sequence's terminal with a
+        distinct code (making all suffixes unique), ``suffix_end[p]`` is one
+        past the terminal of the sequence containing ``p``, and
+        ``sequence_of[p]`` is the index of that sequence.
+        """
+        codes = database.concatenated_codes
+        n = len(codes)
+        construction_codes = codes.astype(np.int64).copy()
+        suffix_end = np.empty(n, dtype=np.int64)
+        sequence_of = np.empty(n, dtype=np.int64)
+
+        terminal_base = database.alphabet.size_with_terminal
+        starts = database.sequence_starts
+        for index, start in enumerate(starts):
+            length = len(database[index])
+            terminal_position = start + length
+            construction_codes[terminal_position] = terminal_base + index
+            suffix_end[start : terminal_position + 1] = terminal_position + 1
+            sequence_of[start : terminal_position + 1] = index
+        return construction_codes, suffix_end, sequence_of
+
+    # ------------------------------------------------------------------ #
+    # Cursor interface
+    # ------------------------------------------------------------------ #
+    @property
+    def database(self) -> SequenceDatabase:
+        return self._database
+
+    @property
+    def root(self) -> InternalNode:
+        return self._root
+
+    def is_leaf(self, node: SuffixTreeNode) -> bool:
+        return node.is_leaf
+
+    def children(self, node: SuffixTreeNode) -> List[SuffixTreeNode]:
+        if isinstance(node, InternalNode):
+            # The caller must not mutate the returned list; avoiding a copy
+            # matters because child enumeration is on the search's hot path.
+            return node.children
+        return []
+
+    def arc(self, node: SuffixTreeNode) -> Tuple[int, int]:
+        return node.edge_start, node.edge_length
+
+    def arc_symbols(self, node: SuffixTreeNode) -> np.ndarray:
+        return self._codes[node.edge_start : node.edge_end]
+
+    def string_depth(self, node: SuffixTreeNode) -> int:
+        if isinstance(node, InternalNode):
+            return node.depth
+        parent_depth = node.parent.depth if node.parent is not None else 0
+        return parent_depth + node.edge_length
+
+    def suffix_start(self, node: SuffixTreeNode) -> int:
+        if not isinstance(node, LeafNode):
+            raise TypeError("suffix_start is only defined for leaves")
+        return node.suffix_start
+
+    def leaf_positions(self, node: SuffixTreeNode) -> Iterator[int]:
+        for leaf in iter_leaves(node):
+            yield leaf.suffix_start
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    def contains(self, query: str) -> bool:
+        """Exact substring membership (Section 2.3.1)."""
+        codes = self._database.alphabet.encode(query.upper())
+        return self.find_exact(codes) is not None
+
+    def find_occurrences(self, query: str) -> List[Tuple[int, int]]:
+        """All ``(sequence index, local offset)`` occurrences of ``query``."""
+        codes = self._database.alphabet.encode(query.upper())
+        node = self.find_exact(codes)
+        if node is None:
+            return []
+        return sorted(self.occurrences_below(node))
+
+    def path_label(self, node: SuffixTreeNode) -> str:
+        """The full path label from the root down to ``node``."""
+        parts: List[str] = []
+        current: Optional[SuffixTreeNode] = node
+        while current is not None and current.parent is not None:
+            parts.append(self._database.alphabet.decode(self.arc_symbols(current)))
+            current = current.parent
+        return "".join(reversed(parts))
+
+    # ------------------------------------------------------------------ #
+    # Statistics and validation
+    # ------------------------------------------------------------------ #
+    @property
+    def internal_node_count(self) -> int:
+        return self._counts["internal"]
+
+    @property
+    def leaf_count(self) -> int:
+        return self._counts["leaves"]
+
+    @property
+    def node_count(self) -> int:
+        return self._counts["total"]
+
+    def validate(self) -> List[str]:
+        """Structural validation; returns a list of problems (empty = OK)."""
+        problems = validate_tree(self._root, self._codes)
+        expected_leaves = self._database.total_symbols
+        if self.leaf_count != expected_leaves:
+            problems.append(
+                f"expected {expected_leaves} leaves (one per non-terminal suffix), "
+                f"found {self.leaf_count}"
+            )
+        return problems
+
+    def __repr__(self) -> str:
+        return (
+            f"GeneralizedSuffixTree(database={self._database.name!r}, "
+            f"internal={self.internal_node_count}, leaves={self.leaf_count})"
+        )

@@ -1,0 +1,118 @@
+"""Shared fixtures and helpers for the test-suite.
+
+The fixtures keep test inputs tiny (a handful of short sequences) so the whole
+suite stays fast; the heavier end-to-end checks (experiments, disk images)
+use the "tiny" experiment scale.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, List
+
+import pytest
+
+from repro.scoring.data import pam30, unit_matrix
+from repro.scoring.gaps import FixedGapModel
+from repro.scoring.matrix import SubstitutionMatrix
+from repro.sequences.alphabet import DNA_ALPHABET, PROTEIN_ALPHABET
+from repro.sequences.database import SequenceDatabase
+from repro.suffixtree.generalized import GeneralizedSuffixTree
+
+#: The sequence used throughout Section 2/3 of the paper.
+PAPER_TARGET = "AGTACGCCTAG"
+#: The query of the paper's worked example (Table 2, Section 3.3).
+PAPER_QUERY = "TACG"
+
+AMINO_ACIDS = "ARNDCQEGHILKMFPSTWYV"
+BASES = "ACGT"
+
+
+def random_protein(rng: random.Random, length: int) -> str:
+    return "".join(rng.choice(AMINO_ACIDS) for _ in range(length))
+
+
+def random_dna(rng: random.Random, length: int) -> str:
+    return "".join(rng.choice(BASES) for _ in range(length))
+
+
+def brute_force_local_score(
+    query: str, target: str, matrix: SubstitutionMatrix, gap_penalty: int
+) -> int:
+    """Reference Smith-Waterman score, written as differently as possible from
+    the library implementations (plain Python lists, no NumPy)."""
+    m, n = len(query), len(target)
+    previous = [0] * (n + 1)
+    best = 0
+    for i in range(1, m + 1):
+        current = [0] * (n + 1)
+        for j in range(1, n + 1):
+            score = max(
+                0,
+                previous[j - 1] + matrix.score(query[i - 1], target[j - 1]),
+                previous[j] + gap_penalty,
+                current[j - 1] + gap_penalty,
+            )
+            current[j] = score
+            if score > best:
+                best = score
+        previous = current
+    return best
+
+
+@pytest.fixture(scope="session")
+def pam30_matrix() -> SubstitutionMatrix:
+    return pam30()
+
+
+@pytest.fixture(scope="session")
+def unit_dna_matrix() -> SubstitutionMatrix:
+    return unit_matrix(DNA_ALPHABET)
+
+
+@pytest.fixture(scope="session")
+def gap8() -> FixedGapModel:
+    return FixedGapModel(-8)
+
+
+@pytest.fixture
+def paper_database() -> SequenceDatabase:
+    """The single-sequence database of the paper's running example."""
+    return SequenceDatabase.from_texts([PAPER_TARGET], alphabet=DNA_ALPHABET, name="paper")
+
+
+@pytest.fixture
+def paper_tree(paper_database) -> GeneralizedSuffixTree:
+    return GeneralizedSuffixTree.build(paper_database)
+
+
+@pytest.fixture
+def small_protein_database() -> SequenceDatabase:
+    """A deterministic multi-sequence protein database with planted homology."""
+    rng = random.Random(42)
+    core = "WKDDGNGYISAAE"
+    texts: List[str] = []
+    for index in range(6):
+        prefix = random_protein(rng, rng.randint(5, 30))
+        suffix = random_protein(rng, rng.randint(5, 30))
+        mutated = list(core)
+        if index % 2 == 1:
+            position = rng.randrange(len(mutated))
+            mutated[position] = rng.choice(AMINO_ACIDS)
+        texts.append(prefix + "".join(mutated) + suffix)
+    for _ in range(4):
+        texts.append(random_protein(rng, rng.randint(10, 60)))
+    database = SequenceDatabase.from_texts(texts, alphabet=PROTEIN_ALPHABET, name="small-protein")
+    return database
+
+
+@pytest.fixture
+def small_dna_database() -> SequenceDatabase:
+    rng = random.Random(7)
+    texts = [random_dna(rng, rng.randint(15, 80)) for _ in range(8)]
+    return SequenceDatabase.from_texts(texts, alphabet=DNA_ALPHABET, name="small-dna")
+
+
+@pytest.fixture
+def brute_force() -> Callable[[str, str, SubstitutionMatrix, int], int]:
+    return brute_force_local_score

@@ -1,0 +1,81 @@
+"""Tests for the repro-oasis command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+@pytest.fixture
+def generated_files(tmp_path):
+    fasta = tmp_path / "proteins.fasta"
+    queries = tmp_path / "queries.txt"
+    code = main(
+        [
+            "generate",
+            "--output",
+            str(fasta),
+            "--queries",
+            str(queries),
+            "--families",
+            "4",
+            "--singletons",
+            "3",
+            "--query-count",
+            "5",
+            "--seed",
+            "3",
+        ]
+    )
+    assert code == 0
+    return fasta, queries
+
+
+class TestGenerate:
+    def test_writes_fasta_and_queries(self, generated_files, capsys):
+        fasta, queries = generated_files
+        assert fasta.exists() and queries.exists()
+        assert fasta.read_text().startswith(">")
+        assert len(queries.read_text().splitlines()) == 5
+
+    def test_generate_is_deterministic(self, tmp_path):
+        paths = []
+        for name in ("a.fasta", "b.fasta"):
+            path = tmp_path / name
+            main(["generate", "--output", str(path), "--families", "2", "--singletons", "1", "--seed", "9"])
+            paths.append(path.read_text())
+        assert paths[0] == paths[1]
+
+
+class TestSearch:
+    def test_search_reports_hits(self, generated_files, capsys):
+        fasta, queries = generated_files
+        query = queries.read_text().splitlines()[0]
+        code = main(
+            ["search", "--database", str(fasta), "--query", query, "--min-score", "20"]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "DP columns expanded" in output or "no alignments" in output
+
+    def test_search_with_evalue(self, generated_files, capsys):
+        fasta, _ = generated_files
+        code = main(
+            ["search", "--database", str(fasta), "--query", "WWWWWWWWWW", "--evalue", "0.0001"]
+        )
+        assert code == 0
+
+    def test_unknown_matrix_rejected(self, generated_files):
+        fasta, _ = generated_files
+        with pytest.raises(SystemExit):
+            main(["search", "--database", str(fasta), "--query", "MKV", "--matrix", "PAM999"])
+
+
+class TestExperimentCommand:
+    def test_runs_space_experiment(self, capsys):
+        code = main(["experiment", "space", "--scale", "tiny"])
+        assert code == 0
+        assert "bytes/symbol" in capsys.readouterr().out
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

@@ -1,0 +1,178 @@
+"""Tests for the synthetic data generators (protein, nucleotide, motifs)."""
+
+import pytest
+
+from repro.baselines.smith_waterman import SmithWatermanAligner
+from repro.datagen.motifs import MotifWorkloadGenerator
+from repro.datagen.nucleotide import GenomeGenerator
+from repro.datagen.protein import SwissProtLikeGenerator
+from repro.datagen.random_source import AMINO_ACID_FREQUENCIES, RandomSource
+from repro.scoring.gaps import FixedGapModel
+
+
+class TestRandomSource:
+    def test_deterministic_given_seed(self):
+        a = RandomSource(5).weighted_sequence(AMINO_ACID_FREQUENCIES, 50)
+        b = RandomSource(5).weighted_sequence(AMINO_ACID_FREQUENCIES, 50)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        a = RandomSource(1).weighted_sequence(AMINO_ACID_FREQUENCIES, 50)
+        b = RandomSource(2).weighted_sequence(AMINO_ACID_FREQUENCIES, 50)
+        assert a != b
+
+    def test_spawn_is_stable(self):
+        assert RandomSource(3).spawn(7).seed == RandomSource(3).spawn(7).seed
+
+    def test_amino_acid_frequencies_normalised(self):
+        assert sum(AMINO_ACID_FREQUENCIES.values()) == pytest.approx(1.0, abs=0.01)
+
+    def test_length_from_range_respects_bounds(self):
+        rng = RandomSource(0)
+        for _ in range(200):
+            value = rng.length_from_range(6, 56, mean=16)
+            assert 6 <= value <= 56
+
+
+class TestSwissProtLikeGenerator:
+    @pytest.fixture(scope="class")
+    def generator(self):
+        return SwissProtLikeGenerator(seed=11, family_count=5, singleton_count=6)
+
+    @pytest.fixture(scope="class")
+    def database(self, generator):
+        return generator.generate()
+
+    def test_deterministic(self):
+        first = SwissProtLikeGenerator(seed=4, family_count=3, singleton_count=2).generate()
+        second = SwissProtLikeGenerator(seed=4, family_count=3, singleton_count=2).generate()
+        assert [r.text for r in first] == [r.text for r in second]
+
+    def test_family_structure_recorded(self, generator, database):
+        assert len(generator.families) == 5
+        families = {r.family for r in database if r.family is not None}
+        assert families == {f.name for f in generator.families}
+
+    def test_singletons_have_no_family(self, database):
+        singletons = [r for r in database if r.identifier.startswith("SGL")]
+        assert len(singletons) == 6
+        assert all(r.family is None for r in singletons)
+
+    def test_family_members_are_homologous(self, generator, database, pam30_matrix):
+        """A family's conserved core must align strongly to every member."""
+        aligner = SmithWatermanAligner(pam30_matrix, FixedGapModel(-8))
+        family = generator.families[0]
+        core = generator.conserved_core(0)
+        assert core
+        for identifier in family.member_identifiers:
+            member = database.get(identifier)
+            score = aligner.best_score_pair(core, member.text)
+            # A conserved core of >=20 residues with ~5% mutation should score
+            # far above anything random (PAM30 diagonal averages ~8).
+            assert score > 4 * len(core)
+
+    def test_invalid_configuration(self):
+        with pytest.raises(ValueError):
+            SwissProtLikeGenerator(family_count=0, singleton_count=0)
+        with pytest.raises(ValueError):
+            SwissProtLikeGenerator(family_count=-1)
+
+    def test_conserved_core_before_generation(self):
+        assert SwissProtLikeGenerator(seed=1).conserved_core(0) is None
+
+
+class TestGenomeGenerator:
+    def test_contig_count_and_lengths(self):
+        generator = GenomeGenerator(seed=2, contig_count=4, contig_length=(500, 800))
+        database = generator.generate()
+        assert len(database) == 4
+        assert all(500 <= len(r) <= 800 for r in database)
+
+    def test_repeats_occur_across_contigs(self):
+        generator = GenomeGenerator(
+            seed=3,
+            contig_count=4,
+            contig_length=(1_000, 1_500),
+            repeat_density=0.4,
+            repeat_mutation_rate=0.0,
+        )
+        database = generator.generate()
+        # With mutation disabled, at least one repeat element must appear
+        # verbatim in several contigs.
+        best_spread = max(
+            sum(1 for record in database if element[:20] in record.text)
+            for element in generator.repeat_elements
+        )
+        assert best_spread >= 2
+
+    def test_invalid_configuration(self):
+        with pytest.raises(ValueError):
+            GenomeGenerator(contig_count=0)
+        with pytest.raises(ValueError):
+            GenomeGenerator(repeat_density=1.5)
+
+    def test_deterministic(self):
+        a = GenomeGenerator(seed=9, contig_count=2, contig_length=(300, 400)).generate()
+        b = GenomeGenerator(seed=9, contig_count=2, contig_length=(300, 400)).generate()
+        assert [r.text for r in a] == [r.text for r in b]
+
+
+class TestMotifWorkloadGenerator:
+    @pytest.fixture(scope="class")
+    def generator(self):
+        generator = SwissProtLikeGenerator(seed=21, family_count=6, singleton_count=4)
+        generator.generate()
+        return generator
+
+    def test_requires_generated_families(self):
+        fresh = SwissProtLikeGenerator(seed=1)
+        with pytest.raises(ValueError):
+            MotifWorkloadGenerator(fresh)
+
+    def test_query_count_and_lengths(self, generator):
+        workload = MotifWorkloadGenerator(
+            generator, seed=0, query_count=40, length_range=(6, 56), mean_length=16
+        ).generate()
+        assert len(workload) == 40
+        assert all(6 <= q.length <= 56 for q in workload)
+        # The mean should land near the ProClass-like target.
+        assert 10 <= workload.mean_length <= 24
+
+    def test_family_motifs_labelled_with_source(self, generator):
+        workload = MotifWorkloadGenerator(
+            generator, seed=1, query_count=30, random_fraction=0.2
+        ).generate()
+        family_queries = [q for q in workload if q.source_family is not None]
+        random_queries = [q for q in workload if q.source_family is None]
+        assert len(random_queries) == 6
+        assert len(family_queries) == 24
+
+    def test_by_length_grouping(self, generator):
+        workload = MotifWorkloadGenerator(generator, seed=2, query_count=25).generate()
+        grouped = workload.by_length()
+        assert sum(len(v) for v in grouped.values()) == 25
+        assert list(grouped.keys()) == sorted(grouped.keys())
+
+    def test_deterministic(self, generator):
+        a = MotifWorkloadGenerator(generator, seed=5, query_count=15).generate()
+        b = MotifWorkloadGenerator(generator, seed=5, query_count=15).generate()
+        assert a.texts() == b.texts()
+
+    def test_invalid_configuration(self, generator):
+        with pytest.raises(ValueError):
+            MotifWorkloadGenerator(generator, query_count=0)
+        with pytest.raises(ValueError):
+            MotifWorkloadGenerator(generator, random_fraction=1.5)
+
+    def test_motifs_hit_their_source_family(self, generator, pam30_matrix):
+        """A family motif must align strongly to at least one family member."""
+        database = SwissProtLikeGenerator(seed=21, family_count=6, singleton_count=4).generate()
+        workload = MotifWorkloadGenerator(
+            generator, seed=3, query_count=10, random_fraction=0.0, mutation_rate=0.02
+        ).generate()
+        aligner = SmithWatermanAligner(pam30_matrix, FixedGapModel(-8))
+        for query in workload.queries[:5]:
+            members = [r for r in database if r.family == query.source_family]
+            assert members
+            best = max(aligner.best_score_pair(query.text, m.text) for m in members)
+            assert best >= 3 * query.length

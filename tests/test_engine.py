@@ -1,0 +1,117 @@
+"""Tests for the OasisEngine facade and the selectivity converter."""
+
+import pytest
+
+from repro.core.engine import OasisEngine
+from repro.core.evalue import SelectivityConverter
+from repro.scoring.data import pam30
+from repro.scoring.gaps import FixedGapModel
+from repro.storage.disk_tree import DiskSuffixTree
+from repro.suffixtree.generalized import GeneralizedSuffixTree
+from repro.suffixtree.partitioned import PartitionedTreeBuilder
+
+
+class TestEngineConstruction:
+    def test_build_in_memory(self, small_protein_database, pam30_matrix, gap8):
+        engine = OasisEngine.build(small_protein_database, matrix=pam30_matrix, gap_model=gap8)
+        assert isinstance(engine.cursor, GeneralizedSuffixTree)
+        assert engine.database is small_protein_database
+
+    def test_build_partitioned_gives_same_results(self, small_protein_database, pam30_matrix, gap8):
+        direct = OasisEngine.build(small_protein_database, matrix=pam30_matrix, gap_model=gap8)
+        partitioned = OasisEngine.build(
+            small_protein_database,
+            matrix=pam30_matrix,
+            gap_model=gap8,
+            partitioned=True,
+            max_partition_size=25,
+        )
+        query = "WKDDGNGYISAAE"
+        assert (
+            direct.search(query, min_score=20).scores_by_sequence()
+            == partitioned.search(query, min_score=20).scores_by_sequence()
+        )
+
+    def test_build_on_disk(self, tmp_path, small_protein_database, pam30_matrix, gap8):
+        image = tmp_path / "index.oasis"
+        engine = OasisEngine.build_on_disk(
+            small_protein_database,
+            matrix=pam30_matrix,
+            image_path=image,
+            gap_model=gap8,
+            block_size=512,
+            buffer_pool_bytes=8192,
+        )
+        assert isinstance(engine.cursor, DiskSuffixTree)
+        memory_engine = OasisEngine.build(
+            small_protein_database, matrix=pam30_matrix, gap_model=gap8
+        )
+        query = "WKDDGNGYISAAE"
+        assert (
+            engine.search(query, min_score=20).scores_by_sequence()
+            == memory_engine.search(query, min_score=20).scores_by_sequence()
+        )
+        assert engine.cursor.statistics.requests > 0
+        engine.cursor.close()
+
+
+class TestThresholdResolution:
+    @pytest.fixture
+    def engine(self, small_protein_database, pam30_matrix, gap8):
+        return OasisEngine.build(small_protein_database, matrix=pam30_matrix, gap_model=gap8)
+
+    def test_requires_exactly_one_threshold(self, engine):
+        with pytest.raises(ValueError):
+            engine.search("WKDDGNGYISAAE")
+        with pytest.raises(ValueError):
+            engine.search("WKDDGNGYISAAE", min_score=10, evalue=1.0)
+
+    def test_min_score_must_be_positive(self, engine):
+        with pytest.raises(ValueError):
+            engine.search("WKDDGNGYISAAE", min_score=0)
+
+    def test_evalue_resolves_through_equation3(self, engine):
+        query = "WKDDGNGYISAAE"
+        expected = engine.converter.min_score_for_evalue(5.0, len(query))
+        assert engine.min_score_for(query, 5.0) == expected
+        by_evalue = engine.search(query, evalue=5.0)
+        by_score = engine.search(query, min_score=expected)
+        assert by_evalue.scores_by_sequence() == by_score.scores_by_sequence()
+
+    def test_hits_are_annotated_with_evalues(self, engine):
+        result = engine.search("WKDDGNGYISAAE", evalue=10.0)
+        assert all(hit.evalue is not None for hit in result)
+        # E-values must not exceed the requested cutoff (scores >= threshold).
+        assert all(hit.evalue <= 10.0 + 1e-9 for hit in result)
+
+    def test_statistics_exposed(self, engine):
+        engine.search("WKDDGNGYISAAE", min_score=20)
+        assert engine.statistics.columns_expanded > 0
+
+    def test_repr_mentions_index_type(self, engine):
+        assert "GeneralizedSuffixTree" in repr(engine)
+
+
+class TestSelectivityConverter:
+    def test_lower_evalue_means_higher_threshold(self, small_protein_database, pam30_matrix):
+        converter = SelectivityConverter(pam30_matrix, small_protein_database)
+        strict = converter.min_score_for_evalue(0.01, 16)
+        relaxed = converter.min_score_for_evalue(1000.0, 16)
+        assert strict > relaxed
+
+    def test_roundtrip_consistency(self, small_protein_database, pam30_matrix):
+        converter = SelectivityConverter(pam30_matrix, small_protein_database)
+        score = converter.min_score_for_evalue(1.0, 16)
+        assert converter.evalue_for_score(score, 16) <= 1.0
+
+    def test_database_size_used(self, small_protein_database, pam30_matrix):
+        converter = SelectivityConverter(pam30_matrix, small_protein_database)
+        assert converter.database_size == small_protein_database.total_symbols
+
+    def test_degenerate_composition_falls_back_to_uniform(self, pam30_matrix):
+        from repro.sequences.database import SequenceDatabase
+        from repro.sequences.alphabet import PROTEIN_ALPHABET
+
+        degenerate = SequenceDatabase.from_texts(["AAAAAAAAAA"], alphabet=PROTEIN_ALPHABET)
+        converter = SelectivityConverter(pam30_matrix, degenerate)
+        assert converter.parameters.lambda_ > 0

@@ -1,0 +1,171 @@
+"""Unit tests for the arc expansion (Algorithm 3) and its pruning rules."""
+
+import numpy as np
+import pytest
+
+from repro.core.expand import ExpansionContext, expand_arc
+from repro.core.heuristic import compute_heuristic_vector
+from repro.core.search_node import NodeState, PRUNED, SearchNode
+from repro.scoring.data import unit_matrix
+from repro.sequences.alphabet import DNA_ALPHABET
+
+MATRIX = unit_matrix(DNA_ALPHABET)
+
+
+def make_context(query_text, min_score=1, **kwargs):
+    codes = DNA_ALPHABET.encode(query_text)
+    return ExpansionContext(
+        query_codes=codes,
+        score_lookup=MATRIX.lookup,
+        gap_penalty=-1,
+        heuristic=compute_heuristic_vector(codes, MATRIX),
+        min_score=min_score,
+        **kwargs,
+    )
+
+
+def make_root(context):
+    return SearchNode(
+        tree_node=None,
+        column=context.make_root_column(),
+        max_score=0,
+        f=int(context.heuristic.max()),
+        b=0,
+        state=NodeState.VIABLE,
+        depth=0,
+    )
+
+
+class TestExpansionContext:
+    def test_root_column_zeros(self):
+        context = make_context("TACG", min_score=1)
+        assert context.make_root_column().tolist() == [0, 0, 0, 0, PRUNED]
+
+    def test_root_column_prunes_hopeless_entries(self):
+        # With min_score=3 only the entries with at least 3 symbols left survive.
+        context = make_context("TACG", min_score=3)
+        assert context.make_root_column().tolist() == [0, 0, PRUNED, PRUNED, PRUNED]
+
+    def test_invalid_min_score(self):
+        with pytest.raises(ValueError):
+            make_context("TACG", min_score=0)
+
+    def test_invalid_gap(self):
+        codes = DNA_ALPHABET.encode("TA")
+        with pytest.raises(ValueError):
+            ExpansionContext(codes, MATRIX.lookup, 0, compute_heuristic_vector(codes, MATRIX), 1)
+
+
+class TestExpandArc:
+    """Columns are checked against the worked example of Section 3.3."""
+
+    def test_expanding_node_1n(self):
+        # Node 1N: arc "A" from the root, query TACG, minScore 1.
+        context = make_context("TACG", min_score=1)
+        root = make_root(context)
+        node = expand_arc(root, "1N", DNA_ALPHABET.encode("A"), is_leaf=False, context=context)
+        assert node.state is NodeState.VIABLE
+        # Column from the paper: [-1 pruned, -1 pruned, 1, 0 pruned, -1 pruned]
+        assert node.column[2] == 1
+        assert node.column[0] == PRUNED and node.column[1] == PRUNED
+        assert node.column[3] == PRUNED and node.column[4] == PRUNED
+        assert node.f == 3  # paper: f = 3 for node 1N
+        assert node.b == 1
+        assert node.max_score == 1
+        assert node.depth == 1
+
+    def test_expanding_node_4n(self):
+        # Node 4N: arc "TA", paper reports f = 4, best alignment so far 2.
+        context = make_context("TACG", min_score=1)
+        root = make_root(context)
+        node = expand_arc(root, "4N", DNA_ALPHABET.encode("TA"), is_leaf=False, context=context)
+        assert node.state is NodeState.VIABLE
+        assert node.f == 4
+        assert node.max_score == 2
+        assert node.column[2] == 2  # alignment TA <-> TA
+
+    def test_columns_expanded_counted(self):
+        context = make_context("TACG")
+        root = make_root(context)
+        expand_arc(root, None, DNA_ALPHABET.encode("TA"), is_leaf=False, context=context)
+        assert context.columns_expanded == 2
+
+    def test_leaf_arc_returns_accepted_when_above_threshold(self):
+        context = make_context("TACG", min_score=1)
+        root = make_root(context)
+        # Simulate leaf 2L: the arc continues ACGCCTAG$ after path TA.
+        node_4n = expand_arc(root, "4N", DNA_ALPHABET.encode("TA"), is_leaf=False, context=context)
+        leaf = expand_arc(
+            node_4n, "2L", DNA_ALPHABET.encode("CGCCTAG$"), is_leaf=True, context=context
+        )
+        assert leaf.state is NodeState.ACCEPTED
+        assert leaf.max_score == 4  # the full TACG match
+        assert leaf.f == 4
+        assert leaf.column is None  # accepted nodes drop their column
+
+    def test_unviable_when_threshold_unreachable(self):
+        context = make_context("TACG", min_score=4)
+        root = make_root(context)
+        # A path of mismatching symbols can never reach a score of 4.
+        node = expand_arc(root, None, DNA_ALPHABET.encode("GGGGG"), is_leaf=False, context=context)
+        assert node.state is NodeState.UNVIABLE
+
+    def test_early_termination_stops_column_expansion(self):
+        context = make_context("TACG", min_score=1)
+        root = make_root(context)
+        # After the query is fully matched, further symbols cannot improve the
+        # alignment, so the expansion stops before consuming the whole arc.
+        long_arc = DNA_ALPHABET.encode("TACG" + "T" * 50)
+        expand_arc(root, None, long_arc, is_leaf=False, context=context)
+        assert context.columns_expanded < 20
+
+    def test_expanding_accepted_node_column_is_error(self):
+        context = make_context("TACG")
+        accepted = SearchNode(None, None, 4, 4, 4, NodeState.ACCEPTED, depth=3)
+        with pytest.raises(ValueError):
+            expand_arc(accepted, None, DNA_ALPHABET.encode("A"), is_leaf=False, context=context)
+
+    def test_terminal_symbol_kills_alignments(self):
+        context = make_context("TACG", min_score=1)
+        root = make_root(context)
+        node = expand_arc(
+            root, None, np.array([DNA_ALPHABET.terminal_code]), is_leaf=True, context=context
+        )
+        # Nothing can align across a terminal; no alignment was found.
+        assert node.state is NodeState.UNVIABLE
+
+
+class TestPruningRules:
+    def test_rule_counters_track_each_rule(self):
+        context = make_context("TACG", min_score=2, track_pruning=True)
+        root = make_root(context)
+        expand_arc(root, None, DNA_ALPHABET.encode("TAGG"), is_leaf=False, context=context)
+        assert context.pruned_non_positive > 0
+        # Threshold and dominated counters are non-negative and tracked.
+        assert context.pruned_threshold >= 0
+        assert context.pruned_dominated >= 0
+
+    def test_disabling_rules_never_changes_scores(self):
+        # With pruning rules individually disabled, the max_score reached on a
+        # fully-expanded path must be identical.
+        arc = DNA_ALPHABET.encode("TAACG")
+        results = []
+        for flags in [
+            {},
+            {"prune_dominated": False},
+            {"prune_threshold": False},
+            {"prune_dominated": False, "prune_threshold": False},
+        ]:
+            context = make_context("TACG", min_score=1, **flags)
+            root = make_root(context)
+            node = expand_arc(root, None, arc, is_leaf=False, context=context)
+            results.append(node.max_score)
+        assert len(set(results)) == 1
+
+    def test_disabled_pruning_expands_at_least_as_many_columns(self):
+        arc = DNA_ALPHABET.encode("TAACGGTTACCAGT")
+        full = make_context("TACG", min_score=3)
+        expand_arc(make_root(full), None, arc, is_leaf=False, context=full)
+        relaxed = make_context("TACG", min_score=3, prune_threshold=False, prune_dominated=False)
+        expand_arc(make_root(relaxed), None, arc, is_leaf=False, context=relaxed)
+        assert relaxed.columns_expanded >= full.columns_expanded

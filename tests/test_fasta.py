@@ -1,0 +1,80 @@
+"""Unit tests for repro.sequences.fasta."""
+
+import io
+
+import pytest
+
+from repro.sequences.alphabet import DNA_ALPHABET
+from repro.sequences.fasta import (
+    FastaFormatError,
+    parse_fasta_text,
+    read_fasta,
+    write_fasta,
+)
+
+SAMPLE = """>sp|P1 first protein
+MKVLA
+ADTG
+>sp|P2
+MML
+"""
+
+
+class TestParsing:
+    def test_parse_two_records(self):
+        db = parse_fasta_text(SAMPLE)
+        assert len(db) == 2
+        assert db[0].identifier == "sp|P1"
+        assert db[0].description == "first protein"
+        assert db[0].text == "MKVLAADTG"
+        assert db[1].text == "MML"
+
+    def test_parse_skips_blank_lines(self):
+        db = parse_fasta_text(">a\n\nACGT\n\n", alphabet=DNA_ALPHABET)
+        assert db[0].text == "ACGT"
+
+    def test_sequence_before_header_rejected(self):
+        with pytest.raises(FastaFormatError):
+            parse_fasta_text("ACGT\n>a\nACGT\n")
+
+    def test_empty_header_rejected(self):
+        with pytest.raises(FastaFormatError):
+            parse_fasta_text(">\nACGT\n")
+
+    def test_record_without_sequence_rejected(self):
+        with pytest.raises(FastaFormatError):
+            parse_fasta_text(">a\n>b\nACGT\n")
+
+    def test_unknown_symbols_lenient_by_default(self):
+        db = parse_fasta_text(">a\nACGJ\n", alphabet=DNA_ALPHABET)
+        assert db[0].text == "ACGJ"
+
+
+class TestRoundtrip:
+    def test_write_and_read_back(self, tmp_path):
+        db = parse_fasta_text(SAMPLE)
+        path = tmp_path / "out.fasta"
+        write_fasta(db, path)
+        loaded = read_fasta(path)
+        assert [r.identifier for r in loaded] == [r.identifier for r in db]
+        assert [r.text for r in loaded] == [r.text for r in db]
+
+    def test_write_to_stream_wraps_lines(self):
+        db = parse_fasta_text(">a\n" + "M" * 130 + "\n")
+        stream = io.StringIO()
+        write_fasta(db, stream, line_width=60)
+        lines = stream.getvalue().splitlines()
+        assert lines[0] == ">a"
+        assert len(lines[1]) == 60
+        assert len(lines[2]) == 60
+        assert len(lines[3]) == 10
+
+    def test_invalid_line_width(self):
+        with pytest.raises(ValueError):
+            write_fasta(parse_fasta_text(SAMPLE), io.StringIO(), line_width=0)
+
+    def test_description_preserved(self, tmp_path):
+        path = tmp_path / "out.fasta"
+        write_fasta(parse_fasta_text(SAMPLE), path)
+        loaded = read_fasta(path)
+        assert loaded[0].description == "first protein"

@@ -1,0 +1,69 @@
+"""Unit tests for repro.scoring.gaps."""
+
+import pytest
+
+from repro.scoring.gaps import AffineGapModel, FixedGapModel
+
+
+class TestFixedGapModel:
+    def test_cost_is_linear(self):
+        model = FixedGapModel(-2)
+        assert model.cost(0) == 0
+        assert model.cost(1) == -2
+        assert model.cost(5) == -10
+
+    def test_properties(self):
+        model = FixedGapModel(-3)
+        assert not model.is_affine
+        assert model.per_symbol == -3
+        assert model.opening == 0
+
+    def test_positive_penalty_rejected(self):
+        with pytest.raises(ValueError):
+            FixedGapModel(1)
+        with pytest.raises(ValueError):
+            FixedGapModel(0)
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ValueError):
+            FixedGapModel(-1).cost(-1)
+
+    def test_validate_passes(self):
+        FixedGapModel(-1).validate()
+
+    def test_frozen(self):
+        model = FixedGapModel(-1)
+        with pytest.raises(Exception):
+            model.penalty = -2  # type: ignore[misc]
+
+
+class TestAffineGapModel:
+    def test_cost_includes_opening(self):
+        model = AffineGapModel(open_penalty=-10, extend_penalty=-1)
+        assert model.cost(0) == 0
+        assert model.cost(1) == -11
+        assert model.cost(4) == -14
+
+    def test_properties(self):
+        model = AffineGapModel(-5, -2)
+        assert model.is_affine
+        assert model.per_symbol == -2
+        assert model.opening == -5
+
+    def test_positive_penalties_rejected(self):
+        with pytest.raises(ValueError):
+            AffineGapModel(1, -1)
+        with pytest.raises(ValueError):
+            AffineGapModel(-1, 0)
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ValueError):
+            AffineGapModel(-1, -1).cost(-2)
+
+    def test_affine_never_cheaper_than_equivalent_fixed_for_long_gaps(self):
+        fixed = FixedGapModel(-3)
+        affine = AffineGapModel(open_penalty=-4, extend_penalty=-1)
+        # For long gaps the affine model (with milder extension) costs less.
+        assert affine.cost(10) > fixed.cost(10)
+        # For a single-symbol gap the affine model costs more.
+        assert affine.cost(1) < fixed.cost(1)

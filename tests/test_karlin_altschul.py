@@ -1,0 +1,114 @@
+"""Unit tests for repro.scoring.karlin_altschul (Equations 2-3 of the paper)."""
+
+import math
+
+import pytest
+
+from repro.scoring.data import blosum62, pam30, unit_matrix
+from repro.scoring.karlin_altschul import (
+    KarlinAltschulError,
+    bit_score,
+    estimate_karlin_altschul,
+    evalue_from_score,
+    score_from_evalue,
+)
+from repro.scoring.matrix import SubstitutionMatrix
+from repro.sequences.alphabet import DNA_ALPHABET
+
+
+class TestEstimation:
+    def test_lambda_positive_and_moderate(self):
+        params = estimate_karlin_altschul(pam30())
+        assert 0.05 < params.lambda_ < 1.5
+
+    def test_characteristic_equation_satisfied(self):
+        # lambda must satisfy sum p_i p_j exp(lambda s_ij) = 1.
+        matrix = blosum62()
+        params = estimate_karlin_altschul(matrix)
+        n = len(matrix.alphabet)
+        total = 0.0
+        for i in range(n):
+            for j in range(n):
+                total += (1 / n) * (1 / n) * math.exp(params.lambda_ * matrix.lookup[i, j])
+        assert total == pytest.approx(1.0, abs=1e-4)
+
+    def test_k_and_h_positive(self):
+        params = estimate_karlin_altschul(pam30())
+        assert params.k > 0
+        assert params.h > 0
+
+    def test_background_frequencies_change_lambda(self):
+        from repro.datagen.random_source import AMINO_ACID_FREQUENCIES
+
+        uniform = estimate_karlin_altschul(blosum62())
+        realistic = estimate_karlin_altschul(blosum62(), frequencies=AMINO_ACID_FREQUENCIES)
+        assert abs(uniform.lambda_ - realistic.lambda_) > 1e-6
+
+    def test_non_negative_expectation_rejected(self):
+        always_positive = SubstitutionMatrix.from_match_mismatch(
+            "bad", DNA_ALPHABET, match=2, mismatch=1
+        )
+        with pytest.raises(KarlinAltschulError):
+            estimate_karlin_altschul(always_positive)
+
+    def test_all_negative_matrix_rejected(self):
+        hopeless = SubstitutionMatrix.from_match_mismatch(
+            "hopeless", DNA_ALPHABET, match=-1, mismatch=-2
+        )
+        with pytest.raises(KarlinAltschulError):
+            estimate_karlin_altschul(hopeless)
+
+    def test_bad_background_rejected(self):
+        with pytest.raises(ValueError):
+            estimate_karlin_altschul(blosum62(), frequencies={"A": -1.0})
+        with pytest.raises(ValueError):
+            estimate_karlin_altschul(blosum62(), frequencies={"A": 0.0})
+
+
+class TestEvalueConversions:
+    @pytest.fixture(scope="class")
+    def params(self):
+        return estimate_karlin_altschul(pam30())
+
+    def test_evalue_decreases_with_score(self, params):
+        low = params.evalue(10, 16, 1_000_000)
+        high = params.evalue(40, 16, 1_000_000)
+        assert high < low
+
+    def test_evalue_scales_with_search_space(self, params):
+        small = params.evalue(30, 16, 10_000)
+        large = params.evalue(30, 16, 1_000_000)
+        assert large == pytest.approx(small * 100)
+
+    def test_min_score_roundtrip(self, params):
+        # The E-value of the returned min_score must be at most the target,
+        # and one score lower must exceed it (tightness).
+        for target in (0.001, 1.0, 100.0, 20_000.0):
+            score = params.min_score(target, 16, 1_000_000)
+            assert params.evalue(score, 16, 1_000_000) <= target
+            if score > 1:
+                assert params.evalue(score - 1, 16, 1_000_000) > target
+
+    def test_min_score_at_least_one(self, params):
+        assert params.min_score(1e12, 5, 100) >= 1
+
+    def test_invalid_arguments(self, params):
+        with pytest.raises(ValueError):
+            params.evalue(10, 0, 100)
+        with pytest.raises(ValueError):
+            params.min_score(0.0, 16, 100)
+        with pytest.raises(ValueError):
+            params.min_score(1.0, 16, 0)
+
+    def test_equation2_matches_formula(self, params):
+        score, m, n = 25, 16, 50_000
+        expected = params.k * m * n * math.exp(-params.lambda_ * score)
+        assert params.evalue(score, m, n) == pytest.approx(expected)
+
+    def test_free_function_wrappers(self, params):
+        assert evalue_from_score(25, 16, 1000, params) == params.evalue(25, 16, 1000)
+        assert score_from_evalue(1.0, 16, 1000, params) == params.min_score(1.0, 16, 1000)
+        assert bit_score(25, params) == params.bit_score(25)
+
+    def test_bit_score_monotonic(self, params):
+        assert params.bit_score(30) > params.bit_score(20)

@@ -1,0 +1,158 @@
+"""Tests for the OASIS search driver: exactness, ordering, online behaviour."""
+
+import random
+
+import pytest
+
+from repro.baselines.smith_waterman import SmithWatermanAligner
+from repro.core.engine import OasisEngine
+from repro.core.oasis import OasisSearch
+from repro.scoring.data import pam30, unit_matrix
+from repro.scoring.gaps import AffineGapModel, FixedGapModel
+from repro.sequences.alphabet import DNA_ALPHABET, PROTEIN_ALPHABET
+from repro.sequences.database import SequenceDatabase
+from repro.suffixtree.generalized import GeneralizedSuffixTree
+
+from conftest import PAPER_QUERY, PAPER_TARGET, random_protein
+
+
+class TestPaperExample:
+    """The worked example of Section 3.3: TACG vs AGTACGCCTAG, minScore 1."""
+
+    @pytest.fixture
+    def search(self, paper_tree, unit_dna_matrix):
+        return OasisSearch(paper_tree, unit_dna_matrix, FixedGapModel(-1))
+
+    def test_best_alignment_score_is_four(self, search):
+        result = search.search(PAPER_QUERY, min_score=1)
+        assert len(result) == 1
+        assert result.best_score == 4
+
+    def test_expands_fewer_columns_than_smith_waterman(self, search):
+        result = search.search(PAPER_QUERY, min_score=1)
+        assert 0 < result.columns_expanded < len(PAPER_TARGET)
+
+    def test_statistics_populated(self, search):
+        search.search(PAPER_QUERY, min_score=1)
+        stats = search.statistics
+        assert stats.nodes_expanded > 0
+        assert stats.nodes_accepted >= 1
+        assert stats.columns_expanded > 0
+        assert stats.elapsed_seconds >= 0
+
+    def test_threshold_above_maximum_returns_nothing(self, search):
+        result = search.search(PAPER_QUERY, min_score=5)
+        assert len(result) == 0
+
+    def test_impossible_threshold_short_circuits(self, search):
+        result = search.search(PAPER_QUERY, min_score=100)
+        assert len(result) == 0
+        assert search.statistics.nodes_expanded == 0
+
+    def test_empty_query_rejected(self, search):
+        with pytest.raises(ValueError):
+            search.search("", min_score=1)
+
+    def test_affine_gaps_not_supported(self, paper_tree, unit_dna_matrix):
+        with pytest.raises(NotImplementedError):
+            OasisSearch(paper_tree, unit_dna_matrix, AffineGapModel(-5, -1))
+
+    def test_alignment_tracing(self, search):
+        result = search.search(PAPER_QUERY, min_score=1, compute_alignments=True)
+        alignment = result[0].alignment
+        assert alignment is not None
+        assert alignment.score == 4
+        assert alignment.aligned_query == "TACG"
+        assert alignment.aligned_target == "TACG"
+
+
+class TestExactness:
+    """OASIS must report exactly the per-sequence best scores of Smith-Waterman."""
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_smith_waterman_on_random_proteins(self, seed, pam30_matrix, gap8):
+        rng = random.Random(seed)
+        texts = [random_protein(rng, rng.randint(10, 90)) for _ in range(rng.randint(3, 7))]
+        # Plant a homologous region so strong alignments exist.
+        planted = random_protein(rng, 12)
+        texts[0] = texts[0][:5] + planted + texts[0][5:]
+        texts[-1] = planted + texts[-1]
+        database = SequenceDatabase.from_texts(texts, alphabet=PROTEIN_ALPHABET)
+        engine = OasisEngine.build(database, matrix=pam30_matrix, gap_model=gap8)
+        smith_waterman = SmithWatermanAligner(pam30_matrix, gap8)
+
+        for min_score in (1, 12, 30, 55):
+            oasis_result = engine.search(planted, min_score=min_score)
+            reference = smith_waterman.search(database, planted, min_score=min_score)
+            assert oasis_result.scores_by_sequence() == reference.scores_by_sequence()
+
+    def test_exactness_with_pruning_rules_disabled(self, pam30_matrix, gap8):
+        rng = random.Random(99)
+        texts = [random_protein(rng, 40) for _ in range(4)]
+        query = texts[1][10:22]
+        database = SequenceDatabase.from_texts(texts, alphabet=PROTEIN_ALPHABET)
+        tree = GeneralizedSuffixTree.build(database)
+        reference = OasisSearch(tree, pam30_matrix, gap8).search(query, min_score=10)
+        for flags in (
+            {"prune_dominated": False},
+            {"prune_threshold": False},
+            {"prune_non_positive": True, "prune_dominated": False, "prune_threshold": False},
+        ):
+            relaxed = OasisSearch(tree, pam30_matrix, gap8, **flags).search(query, min_score=10)
+            assert relaxed.scores_by_sequence() == reference.scores_by_sequence()
+
+    def test_exactness_on_dna_with_unit_matrix(self, small_dna_database, unit_dna_matrix):
+        engine = OasisEngine.build(
+            small_dna_database, matrix=unit_dna_matrix, gap_model=FixedGapModel(-1)
+        )
+        smith_waterman = SmithWatermanAligner(unit_dna_matrix, FixedGapModel(-1))
+        query = small_dna_database[0].text[3:11]
+        for min_score in (1, 4, 7):
+            oasis_result = engine.search(query, min_score=min_score)
+            reference = smith_waterman.search(small_dna_database, query, min_score=min_score)
+            assert oasis_result.scores_by_sequence() == reference.scores_by_sequence()
+
+
+class TestOnlineBehaviour:
+    @pytest.fixture
+    def engine(self, small_protein_database, pam30_matrix, gap8):
+        return OasisEngine.build(small_protein_database, matrix=pam30_matrix, gap_model=gap8)
+
+    def test_results_in_decreasing_score_order(self, engine):
+        result = engine.search("WKDDGNGYISAAE", min_score=10)
+        assert len(result) >= 3
+        assert result.is_sorted_by_score()
+
+    def test_streaming_matches_batch(self, engine):
+        streamed = list(engine.search_online("WKDDGNGYISAAE", min_score=10))
+        batch = engine.search("WKDDGNGYISAAE", min_score=10)
+        assert [h.sequence_identifier for h in streamed] == batch.sequence_identifiers()
+        assert [h.score for h in streamed] == [h.score for h in batch]
+
+    def test_emitted_at_is_monotonic(self, engine):
+        times = [h.emitted_at for h in engine.search_online("WKDDGNGYISAAE", min_score=10)]
+        assert all(t is not None for t in times)
+        assert all(a <= b for a, b in zip(times, times[1:]))
+
+    def test_max_results_stops_early(self, engine):
+        full = engine.search("WKDDGNGYISAAE", min_score=10)
+        top2 = engine.search("WKDDGNGYISAAE", min_score=10, max_results=2)
+        assert len(top2) == 2
+        assert [h.score for h in top2] == [h.score for h in full][:2]
+
+    def test_abandoning_the_generator_is_safe(self, engine):
+        stream = engine.search_online("WKDDGNGYISAAE", min_score=10)
+        first = next(stream)
+        stream.close()
+        assert first.score >= 10
+
+    def test_each_sequence_reported_at_most_once(self, engine):
+        result = engine.search("WKDDGNGYISAAE", min_score=1)
+        identifiers = result.sequence_identifiers()
+        assert len(identifiers) == len(set(identifiers))
+
+    def test_online_log_recorded(self, engine):
+        result = engine.search("WKDDGNGYISAAE", min_score=10)
+        log = result.parameters["online_log"]
+        assert len(log) == len(result)
+        assert log.first_result_seconds <= log.last_result_seconds

@@ -1,0 +1,80 @@
+"""Unit tests for the partitioned (Hunt-et-al.-style) construction."""
+
+import random
+
+import pytest
+
+from repro.sequences.alphabet import DNA_ALPHABET, PROTEIN_ALPHABET
+from repro.sequences.database import SequenceDatabase
+from repro.suffixtree.generalized import GeneralizedSuffixTree
+from repro.suffixtree.nodes import iter_leaves
+from repro.suffixtree.partitioned import PartitionedTreeBuilder
+
+from conftest import random_dna, random_protein
+
+
+def tree_shape(tree):
+    """A canonical description of the tree: sorted (path label, leaf position)."""
+    return sorted(
+        (tree.path_label(leaf), leaf.suffix_start) for leaf in iter_leaves(tree.root)
+    )
+
+
+class TestPartitionedConstruction:
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            PartitionedTreeBuilder(max_partition_size=0)
+        with pytest.raises(ValueError):
+            PartitionedTreeBuilder(max_prefix_length=0)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_identical_to_direct_construction(self, seed):
+        rng = random.Random(seed)
+        texts = [random_dna(rng, rng.randint(5, 50)) for _ in range(rng.randint(1, 5))]
+        database_a = SequenceDatabase.from_texts(texts, alphabet=DNA_ALPHABET)
+        database_b = SequenceDatabase.from_texts(texts, alphabet=DNA_ALPHABET)
+        direct = GeneralizedSuffixTree.build(database_a)
+        partitioned = PartitionedTreeBuilder(max_partition_size=9).build(database_b)
+        assert tree_shape(direct) == tree_shape(partitioned)
+        assert partitioned.validate() == []
+
+    def test_partition_sizes_respect_budget(self):
+        rng = random.Random(3)
+        texts = [random_protein(rng, 80) for _ in range(6)]
+        database = SequenceDatabase.from_texts(texts, alphabet=PROTEIN_ALPHABET)
+        builder = PartitionedTreeBuilder(max_partition_size=40)
+        builder.build(database)
+        summary = builder.partition_summary()
+        assert summary["largest_partition"] <= 40
+        assert summary["total_suffixes"] == database.total_symbols
+        assert summary["partitions"] >= 2
+        assert summary["database_passes"] == summary["partitions"]
+
+    def test_queries_agree_with_direct_tree(self):
+        rng = random.Random(9)
+        texts = [random_dna(rng, rng.randint(10, 60)) for _ in range(4)]
+        direct = GeneralizedSuffixTree.build(
+            SequenceDatabase.from_texts(texts, alphabet=DNA_ALPHABET)
+        )
+        partitioned = PartitionedTreeBuilder(max_partition_size=15).build(
+            SequenceDatabase.from_texts(texts, alphabet=DNA_ALPHABET)
+        )
+        for _ in range(40):
+            query = random_dna(rng, rng.randint(1, 6))
+            assert partitioned.find_occurrences(query) == direct.find_occurrences(query)
+
+    def test_single_partition_budget_larger_than_database(self):
+        database = SequenceDatabase.from_texts(["ACGTACGT"], alphabet=DNA_ALPHABET)
+        builder = PartitionedTreeBuilder(max_partition_size=1000)
+        tree = builder.build(database)
+        assert tree.validate() == []
+        # Partitions are still per-symbol prefixes even when everything fits.
+        assert builder.partition_summary()["partitions"] >= 2
+
+    def test_report_prefixes_recorded(self):
+        database = SequenceDatabase.from_texts(["ACGTACGTAC"], alphabet=DNA_ALPHABET)
+        builder = PartitionedTreeBuilder(max_partition_size=3)
+        builder.build(database)
+        prefixes = [p.prefix for p in builder.report.partitions]
+        assert all(prefixes)
+        assert len(prefixes) == len(set(prefixes))

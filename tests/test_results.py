@@ -1,0 +1,105 @@
+"""Unit tests for the shared result types."""
+
+import pytest
+
+from repro.core.results import (
+    Alignment,
+    OnlineResultLog,
+    SearchHit,
+    SearchResult,
+    merge_best_hits,
+)
+
+
+def make_hit(index, score, identifier=None):
+    return SearchHit(
+        sequence_index=index,
+        sequence_identifier=identifier or f"seq{index}",
+        score=score,
+    )
+
+
+class TestAlignment:
+    def test_spans(self):
+        alignment = Alignment(10, 2, 6, 5, 9, "ACGT", "ACGT")
+        assert alignment.query_span == 4
+        assert alignment.target_span == 4
+        assert alignment.length == 4
+
+    def test_identity(self):
+        alignment = Alignment(5, 0, 4, 0, 4, "ACGT", "ACCT")
+        assert alignment.identity() == pytest.approx(0.75)
+
+    def test_identity_ignores_gaps(self):
+        alignment = Alignment(5, 0, 4, 0, 3, "AC-GT", "ACXGT")
+        assert alignment.identity() == pytest.approx(4 / 5)
+
+    def test_identity_empty(self):
+        assert Alignment(5, 0, 4, 0, 4).identity() == 0.0
+
+    def test_pretty_renders_rows(self):
+        rendered = Alignment(5, 0, 4, 0, 4, "ACGT", "ACCT").pretty()
+        assert "query" in rendered and "target" in rendered and "|" in rendered
+
+    def test_pretty_without_operations(self):
+        assert "score=5" in Alignment(5, 0, 4, 0, 4).pretty()
+
+
+class TestSearchResult:
+    def test_iteration_and_indexing(self):
+        result = SearchResult("Q", "oasis", hits=[make_hit(0, 5), make_hit(1, 3)])
+        assert len(result) == 2
+        assert result[0].score == 5
+        assert [h.score for h in result] == [5, 3]
+
+    def test_best_hit(self):
+        result = SearchResult("Q", "oasis", hits=[make_hit(0, 5), make_hit(1, 3)])
+        assert result.best_hit.score == 5
+        assert result.best_score == 5
+        assert SearchResult("Q", "oasis").best_hit is None
+        assert SearchResult("Q", "oasis").best_score == 0
+
+    def test_hit_lookup(self):
+        result = SearchResult("Q", "oasis", hits=[make_hit(0, 5)])
+        assert result.hit_for("seq0").score == 5
+        assert result.hit_for("missing") is None
+
+    def test_scores_by_sequence(self):
+        result = SearchResult("Q", "oasis", hits=[make_hit(0, 5), make_hit(2, 9)])
+        assert result.scores_by_sequence() == {"seq0": 5, "seq2": 9}
+
+    def test_sorting(self):
+        result = SearchResult("Q", "oasis", hits=[make_hit(0, 3), make_hit(1, 9)])
+        assert not result.is_sorted_by_score()
+        result.sort_by_score()
+        assert result.is_sorted_by_score()
+        assert result[0].score == 9
+
+
+class TestOnlineResultLog:
+    def test_record_accumulates(self):
+        log = OnlineResultLog()
+        log.record(0.1)
+        log.record(0.2)
+        log.record(0.5)
+        assert len(log) == 3
+        assert log.first_result_seconds == pytest.approx(0.1)
+        assert log.last_result_seconds == pytest.approx(0.5)
+        assert log.time_for_first(2) == pytest.approx(0.2)
+        assert log.time_for_first(10) is None
+        assert log.series() == [(0.1, 1), (0.2, 2), (0.5, 3)]
+
+    def test_empty_log(self):
+        log = OnlineResultLog()
+        assert log.first_result_seconds is None
+        assert log.last_result_seconds is None
+
+
+class TestMergeBestHits:
+    def test_keeps_strongest_per_sequence(self):
+        merged = merge_best_hits([make_hit(0, 5), make_hit(0, 9), make_hit(1, 2)])
+        assert [(h.sequence_index, h.score) for h in merged] == [(0, 9), (1, 2)]
+
+    def test_orders_by_score(self):
+        merged = merge_best_hits([make_hit(0, 2), make_hit(1, 8)])
+        assert [h.sequence_index for h in merged] == [1, 0]

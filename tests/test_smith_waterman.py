@@ -1,0 +1,166 @@
+"""Tests for the Smith-Waterman baseline (scan, pairwise, affine extension)."""
+
+import random
+
+import pytest
+
+from repro.baselines.needleman_wunsch import NeedlemanWunschAligner
+from repro.baselines.smith_waterman import SmithWatermanAligner
+from repro.scoring.data import blosum62, nucleotide_matrix, pam30, unit_matrix
+from repro.scoring.gaps import AffineGapModel, FixedGapModel
+from repro.sequences.alphabet import DNA_ALPHABET, PROTEIN_ALPHABET
+from repro.sequences.database import SequenceDatabase
+
+from conftest import PAPER_QUERY, PAPER_TARGET, random_protein
+
+
+class TestPaperExample:
+    def test_table2_score(self, unit_dna_matrix):
+        aligner = SmithWatermanAligner(unit_dna_matrix, FixedGapModel(-1))
+        alignment = aligner.align_pair(PAPER_QUERY, PAPER_TARGET)
+        assert alignment.score == 4
+        assert alignment.aligned_query == "TACG"
+        assert alignment.aligned_target == "TACG"
+        assert alignment.target_start == 2
+        assert alignment.target_end == 6
+
+    def test_best_score_pair(self, unit_dna_matrix):
+        aligner = SmithWatermanAligner(unit_dna_matrix, FixedGapModel(-1))
+        assert aligner.best_score_pair(PAPER_QUERY, PAPER_TARGET) == 4
+
+
+class TestDatabaseScan:
+    def test_scan_matches_pairwise(self, pam30_matrix, gap8, brute_force):
+        rng = random.Random(5)
+        texts = [random_protein(rng, rng.randint(8, 60)) for _ in range(6)]
+        database = SequenceDatabase.from_texts(texts, alphabet=PROTEIN_ALPHABET)
+        aligner = SmithWatermanAligner(pam30_matrix, gap8)
+        query = texts[2][4:16]
+        result = aligner.search(database, query, min_score=1)
+        for index, text in enumerate(texts):
+            expected = brute_force(query, text, pam30_matrix, -8)
+            hit = result.hit_for(f"seq{index}")
+            if expected >= 1:
+                assert hit is not None and hit.score == expected
+            else:
+                assert hit is None
+
+    def test_results_sorted_and_threshold_respected(self, small_protein_database, pam30_matrix, gap8):
+        aligner = SmithWatermanAligner(pam30_matrix, gap8)
+        result = aligner.search(small_protein_database, "WKDDGNGYISAAE", min_score=30)
+        assert result.is_sorted_by_score()
+        assert all(hit.score >= 30 for hit in result)
+
+    def test_columns_expanded_equals_database_size(self, small_protein_database, pam30_matrix, gap8):
+        aligner = SmithWatermanAligner(pam30_matrix, gap8)
+        result = aligner.search(small_protein_database, "WKDDGNGYISAAE", min_score=1)
+        assert result.columns_expanded == small_protein_database.total_symbols
+
+    def test_min_score_validation(self, small_protein_database, pam30_matrix, gap8):
+        aligner = SmithWatermanAligner(pam30_matrix, gap8)
+        with pytest.raises(ValueError):
+            aligner.search(small_protein_database, "WKDD", min_score=0)
+
+    def test_evalue_annotation(self, small_protein_database, pam30_matrix, gap8):
+        from repro.scoring.karlin_altschul import estimate_karlin_altschul
+
+        statistics = estimate_karlin_altschul(pam30_matrix)
+        aligner = SmithWatermanAligner(pam30_matrix, gap8)
+        result = aligner.search(
+            small_protein_database, "WKDDGNGYISAAE", min_score=30, statistics=statistics
+        )
+        assert all(hit.evalue is not None for hit in result)
+
+    def test_alignments_computed_on_request(self, small_protein_database, pam30_matrix, gap8):
+        aligner = SmithWatermanAligner(pam30_matrix, gap8)
+        result = aligner.search(
+            small_protein_database, "WKDDGNGYISAAE", min_score=30, compute_alignments=True
+        )
+        assert all(hit.alignment is not None for hit in result)
+        assert all(hit.alignment.score == hit.score for hit in result)
+
+    def test_reset_counters(self, small_protein_database, pam30_matrix, gap8):
+        aligner = SmithWatermanAligner(pam30_matrix, gap8)
+        aligner.search(small_protein_database, "WKDD", min_score=1)
+        aligner.reset_counters()
+        assert aligner.columns_expanded == 0
+
+
+class TestTraceback:
+    def test_gapped_alignment(self):
+        aligner = SmithWatermanAligner(unit_dna_matrix := unit_matrix(DNA_ALPHABET), FixedGapModel(-1))
+        # Query has an extra symbol relative to the target region.
+        alignment = aligner.align_pair("ACGTTT", "AACGTTTT")
+        assert alignment.score >= 5
+        assert len(alignment.aligned_query) == len(alignment.aligned_target)
+
+    def test_alignment_score_consistent_with_operations(self, pam30_matrix, gap8):
+        aligner = SmithWatermanAligner(pam30_matrix, gap8)
+        alignment = aligner.align_pair("WKDDGNGYISAAE", "AAWKDDGAGYISAAEPP")
+        total = 0
+        for a, b in zip(alignment.aligned_query, alignment.aligned_target):
+            if a == "-" or b == "-":
+                total += gap8.per_symbol
+            else:
+                total += pam30_matrix.score(a, b)
+        assert total == alignment.score
+
+    def test_local_alignment_never_negative(self, pam30_matrix, gap8):
+        aligner = SmithWatermanAligner(pam30_matrix, gap8)
+        assert aligner.align_pair("WWW", "DDD").score == 0
+
+
+class TestAffineExtension:
+    def test_affine_prefers_single_long_gap(self):
+        # +1/-3 scoring makes mismatches expensive, so bridging the insertion
+        # really requires a gap.  Bridging costs 8 under the fixed model (the
+        # best fixed-gap alignment is then a single flank, score 7) but only
+        # 6 under the affine model (bridged score 8).
+        matrix = nucleotide_matrix(match=1, mismatch=-3)
+        fixed = SmithWatermanAligner(matrix, FixedGapModel(-2))
+        affine = SmithWatermanAligner(matrix, AffineGapModel(open_penalty=-2, extend_penalty=-1))
+        flank_a, flank_b = "ACGTACG", "CATGCAC"
+        query = flank_a + flank_b
+        target = flank_a + "TTTT" + flank_b
+        assert fixed.best_score_pair(query, target) == 7
+        assert affine.best_score_pair(query, target) == 8
+
+    def test_affine_pairwise_traceback_consistent(self):
+        matrix = blosum62()
+        aligner = SmithWatermanAligner(matrix, AffineGapModel(-10, -1))
+        alignment = aligner.align_pair("MKVLAADTG", "MKVLAAAAADTG")
+        assert alignment.score > 0
+        assert len(alignment.aligned_query) == len(alignment.aligned_target)
+
+    def test_affine_database_scan(self, pam30_matrix):
+        database = SequenceDatabase.from_texts(
+            ["MKVLAADTG", "WWWWWW"], alphabet=PROTEIN_ALPHABET
+        )
+        aligner = SmithWatermanAligner(pam30_matrix, AffineGapModel(-11, -1))
+        result = aligner.search(database, "MKVLAADTG", min_score=10)
+        assert result.hit_for("seq0") is not None
+
+
+class TestNeedlemanWunsch:
+    def test_global_score_never_exceeds_local(self, pam30_matrix, gap8):
+        local = SmithWatermanAligner(pam30_matrix, gap8)
+        global_aligner = NeedlemanWunschAligner(pam30_matrix, gap8)
+        pairs = [("MKVLA", "MKVLA"), ("MKVLA", "WWMKVLAWW"), ("AAA", "WWW")]
+        for query, target in pairs:
+            assert global_aligner.score(query, target) <= local.best_score_pair(query, target)
+
+    def test_identical_sequences_global_equals_local(self, pam30_matrix, gap8):
+        text = "WKDDGNGYISAAE"
+        local = SmithWatermanAligner(pam30_matrix, gap8)
+        global_aligner = NeedlemanWunschAligner(pam30_matrix, gap8)
+        assert global_aligner.score(text, text) == local.best_score_pair(text, text)
+
+    def test_global_alignment_spans_both_sequences(self, pam30_matrix, gap8):
+        aligner = NeedlemanWunschAligner(pam30_matrix, gap8)
+        alignment = aligner.align("MKV", "MKVLA")
+        assert alignment.aligned_query.replace("-", "") == "MKV"
+        assert alignment.aligned_target.replace("-", "") == "MKVLA"
+
+    def test_affine_not_supported(self, pam30_matrix):
+        with pytest.raises(NotImplementedError):
+            NeedlemanWunschAligner(pam30_matrix, AffineGapModel(-5, -1))

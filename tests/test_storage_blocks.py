@@ -1,0 +1,174 @@
+"""Unit tests for the block file and the clock buffer pool."""
+
+import pytest
+
+from repro.storage.blocks import BlockFile
+from repro.storage.buffer_pool import BufferPool, Region
+
+
+@pytest.fixture
+def block_file(tmp_path):
+    path = tmp_path / "data.blk"
+    with BlockFile(path, block_size=64, create=True) as handle:
+        for index in range(10):
+            handle.write_block(index, bytes([index]) * 64)
+    return BlockFile(path, block_size=64)
+
+
+class TestBlockFile:
+    def test_block_count(self, block_file):
+        assert block_file.block_count == 10
+
+    def test_read_block_contents(self, block_file):
+        assert block_file.read_block(3) == bytes([3]) * 64
+
+    def test_read_past_end_zero_padded(self, block_file):
+        assert block_file.read_block(50) == b"\x00" * 64
+
+    def test_read_counts(self, block_file):
+        block_file.read_block(0)
+        block_file.read_block(1)
+        assert block_file.reads == 2
+
+    def test_write_short_block_padded(self, tmp_path):
+        with BlockFile(tmp_path / "x.blk", block_size=32, create=True) as handle:
+            handle.write_block(0, b"abc")
+            assert handle.read_block(0) == b"abc" + b"\x00" * 29
+
+    def test_write_oversized_block_rejected(self, tmp_path):
+        with BlockFile(tmp_path / "x.blk", block_size=8, create=True) as handle:
+            with pytest.raises(ValueError):
+                handle.write_block(0, b"123456789")
+
+    def test_negative_block_rejected(self, block_file):
+        with pytest.raises(ValueError):
+            block_file.read_block(-1)
+
+    def test_invalid_block_size(self, tmp_path):
+        with pytest.raises(ValueError):
+            BlockFile(tmp_path / "x.blk", block_size=0, create=True)
+
+    def test_append_bytes_starts_on_boundary(self, tmp_path):
+        with BlockFile(tmp_path / "x.blk", block_size=16, create=True) as handle:
+            handle.write_block(0, b"header")
+            start = handle.append_bytes(b"a" * 40)
+            assert start == 1
+            assert handle.block_count == 4  # header + ceil(40/16)
+
+
+def make_pool(block_file, capacity_blocks, **kwargs):
+    offsets = {Region.SYMBOLS: 0, Region.INTERNAL_NODES: 4, Region.LEAF_NODES: 7}
+    return BufferPool(
+        block_file,
+        capacity_bytes=capacity_blocks * block_file.block_size,
+        region_offsets=offsets,
+        **kwargs,
+    )
+
+
+class TestBufferPool:
+    def test_miss_then_hit(self, block_file):
+        pool = make_pool(block_file, 4)
+        first = pool.get_page(Region.SYMBOLS, 0)
+        second = pool.get_page(Region.SYMBOLS, 0)
+        assert first == second == bytes([0]) * 64
+        assert pool.statistics.hits == 1
+        assert pool.statistics.misses == 1
+        assert pool.statistics.hit_ratio == pytest.approx(0.5)
+
+    def test_region_offsets_applied(self, block_file):
+        pool = make_pool(block_file, 4)
+        # INTERNAL_NODES block 1 is absolute block 5.
+        assert pool.get_page(Region.INTERNAL_NODES, 1) == bytes([5]) * 64
+
+    def test_per_region_statistics(self, block_file):
+        pool = make_pool(block_file, 4)
+        pool.get_page(Region.SYMBOLS, 0)
+        pool.get_page(Region.SYMBOLS, 0)
+        pool.get_page(Region.LEAF_NODES, 0)
+        assert pool.statistics.region_hit_ratio(Region.SYMBOLS) == pytest.approx(0.5)
+        assert pool.statistics.region_hit_ratio(Region.LEAF_NODES) == 0.0
+        assert pool.statistics.region_hit_ratio(Region.INTERNAL_NODES) == 0.0
+
+    def test_eviction_when_capacity_exceeded(self, block_file):
+        pool = make_pool(block_file, 2)
+        pool.get_page(Region.SYMBOLS, 0)
+        pool.get_page(Region.SYMBOLS, 1)
+        pool.get_page(Region.SYMBOLS, 2)  # evicts one of the first two
+        assert pool.resident_pages == 2
+
+    def test_clock_gives_second_chance(self, block_file):
+        pool = make_pool(block_file, 2)
+        pool.get_page(Region.SYMBOLS, 0)
+        pool.get_page(Region.SYMBOLS, 1)
+        # Arrange the frames so that page 0 has its reference bit set and
+        # page 1 does not, with the hand pointing at page 0's frame: the
+        # clock sweep must skip page 0 (second chance) and evict page 1.
+        pool._frames[pool._page_table[(Region.SYMBOLS, 0)]].referenced = True
+        pool._frames[pool._page_table[(Region.SYMBOLS, 1)]].referenced = False
+        pool._clock_hand = pool._page_table[(Region.SYMBOLS, 0)]
+        pool.get_page(Region.SYMBOLS, 2)
+        assert pool.contains(Region.SYMBOLS, 0)
+        assert not pool.contains(Region.SYMBOLS, 1)
+
+    def test_working_set_fits_no_more_misses(self, block_file):
+        pool = make_pool(block_file, 4)
+        for _ in range(5):
+            for block in range(3):
+                pool.get_page(Region.SYMBOLS, block)
+        assert pool.statistics.misses == 3
+        assert pool.statistics.hits == 12
+
+    def test_read_bytes_spanning_blocks(self, block_file):
+        pool = make_pool(block_file, 4)
+        data = pool.read_bytes(Region.SYMBOLS, 60, 8)
+        assert data == bytes([0]) * 4 + bytes([1]) * 4
+
+    def test_read_bytes_empty(self, block_file):
+        pool = make_pool(block_file, 4)
+        assert pool.read_bytes(Region.SYMBOLS, 0, 0) == b""
+
+    def test_simulated_latency_accumulates(self, block_file):
+        pool = make_pool(block_file, 2, simulated_miss_latency=0.25)
+        pool.get_page(Region.SYMBOLS, 0)
+        pool.get_page(Region.SYMBOLS, 1)
+        pool.get_page(Region.SYMBOLS, 0)  # hit: no charge
+        assert pool.statistics.simulated_io_seconds == pytest.approx(0.5)
+
+    def test_clear_drops_pages_keeps_statistics(self, block_file):
+        pool = make_pool(block_file, 4)
+        pool.get_page(Region.SYMBOLS, 0)
+        pool.clear()
+        assert pool.resident_pages == 0
+        assert pool.statistics.misses == 1
+
+    def test_reset_statistics(self, block_file):
+        pool = make_pool(block_file, 4)
+        pool.get_page(Region.SYMBOLS, 0)
+        pool.reset_statistics()
+        assert pool.statistics.requests == 0
+
+    def test_snapshot_keys(self, block_file):
+        pool = make_pool(block_file, 4)
+        pool.get_page(Region.SYMBOLS, 0)
+        snapshot = pool.statistics.snapshot()
+        assert {"requests", "hits", "misses", "hit_ratio"} <= set(snapshot)
+
+    def test_invalid_capacity(self, block_file):
+        with pytest.raises(ValueError):
+            make_pool(block_file, 0)
+
+    def test_invalid_latency(self, block_file):
+        with pytest.raises(ValueError):
+            make_pool(block_file, 2, simulated_miss_latency=-1.0)
+
+    def test_minimum_one_frame(self, block_file):
+        pool = BufferPool(
+            block_file,
+            capacity_bytes=1,
+            region_offsets={Region.SYMBOLS: 0, Region.INTERNAL_NODES: 4, Region.LEAF_NODES: 7},
+        )
+        assert pool.frame_count == 1
+        pool.get_page(Region.SYMBOLS, 0)
+        pool.get_page(Region.SYMBOLS, 1)
+        assert pool.resident_pages == 1

@@ -1,0 +1,204 @@
+"""Unit tests for the disk layout records, the image builder and DiskSuffixTree."""
+
+import random
+
+import pytest
+
+from repro.sequences.alphabet import DNA_ALPHABET
+from repro.sequences.database import SequenceDatabase
+from repro.storage.builder import build_disk_image
+from repro.storage.buffer_pool import Region
+from repro.storage.disk_tree import DiskSuffixTree
+from repro.storage.layout import (
+    DiskLayout,
+    FLAG_LAST_SIBLING,
+    InternalNodeRecord,
+    LeafNodeRecord,
+    NO_POINTER,
+)
+from repro.suffixtree.generalized import GeneralizedSuffixTree
+
+from conftest import PAPER_TARGET, random_dna
+
+
+class TestRecords:
+    def test_internal_record_roundtrip(self):
+        record = InternalNodeRecord(
+            depth=7, symbol_ptr=123, first_internal_child=5, first_leaf_child=NO_POINTER, flags=1
+        )
+        assert InternalNodeRecord.unpack(record.pack()) == record
+
+    def test_internal_record_size(self):
+        assert InternalNodeRecord.SIZE == 17
+
+    def test_last_sibling_flag(self):
+        record = InternalNodeRecord(0, 0, 0, 0, FLAG_LAST_SIBLING)
+        assert record.is_last_sibling
+        assert not InternalNodeRecord(0, 0, 0, 0, 0).is_last_sibling
+
+    def test_leaf_record_roundtrip(self):
+        record = LeafNodeRecord(next_sibling=42)
+        assert LeafNodeRecord.unpack(record.pack()) == record
+
+    def test_leaf_record_size(self):
+        assert LeafNodeRecord.SIZE == 4
+
+
+class TestDiskLayout:
+    def make_layout(self):
+        return DiskLayout(
+            block_size=512,
+            symbol_count=1000,
+            internal_count=600,
+            leaf_slots=1000,
+            sequence_count=10,
+            symbols_start_block=1,
+            internal_start_block=3,
+            leaves_start_block=24,
+        )
+
+    def test_header_roundtrip(self):
+        layout = self.make_layout()
+        assert DiskLayout.unpack_header(layout.pack_header()) == layout
+
+    def test_header_magic_checked(self):
+        with pytest.raises(ValueError):
+            DiskLayout.unpack_header(b"NOTANIDX" + b"\x00" * 64)
+
+    def test_records_per_block(self):
+        layout = self.make_layout()
+        assert layout.internal_records_per_block == 512 // 17
+        assert layout.leaf_records_per_block == 128
+        assert layout.symbols_per_block == 512
+
+    def test_page_addressing_never_straddles_blocks(self):
+        layout = self.make_layout()
+        per_block = layout.internal_records_per_block
+        block, offset = layout.internal_page(per_block)  # first record of block 1
+        assert block == 1
+        assert offset == 0
+        block, offset = layout.internal_page(per_block - 1)
+        assert block == 0
+        assert offset + InternalNodeRecord.SIZE <= 512
+
+    def test_block_counts_and_size(self):
+        layout = self.make_layout()
+        assert layout.symbols_block_count == 2
+        assert layout.total_blocks == 1 + layout.symbols_block_count + layout.internal_block_count + layout.leaves_block_count
+        assert layout.index_size_bytes == layout.total_blocks * 512
+
+    def test_bytes_per_symbol(self):
+        layout = self.make_layout()
+        assert layout.bytes_per_symbol == pytest.approx(layout.index_size_bytes / 1000)
+
+    def test_region_offsets_mapping(self):
+        offsets = self.make_layout().region_offsets()
+        assert offsets[Region.SYMBOLS] == 1
+        assert offsets[Region.INTERNAL_NODES] == 3
+        assert offsets[Region.LEAF_NODES] == 24
+
+
+@pytest.fixture
+def paper_image(tmp_path, paper_database):
+    tree = GeneralizedSuffixTree.build(paper_database)
+    path = tmp_path / "paper.oasis"
+    layout = build_disk_image(tree, path, block_size=256)
+    return path, layout, tree
+
+
+class TestDiskImageBuilder:
+    def test_layout_counts_match_tree(self, paper_image, paper_database):
+        _, layout, tree = paper_image
+        assert layout.symbol_count == paper_database.total_symbols_with_terminals
+        assert layout.internal_count == tree.internal_node_count
+        assert layout.leaf_slots == layout.symbol_count
+        assert layout.sequence_count == 1
+
+    def test_header_readable_from_file(self, paper_image):
+        path, layout, _ = paper_image
+        from repro.storage.blocks import BlockFile
+
+        with BlockFile(path, block_size=256) as handle:
+            loaded = DiskLayout.unpack_header(handle.read_block(0))
+        assert loaded == layout
+
+    def test_space_utilisation_in_expected_range(self, tmp_path):
+        # With the default 2 KB blocks and a realistically sized database the
+        # image should land in the low tens of bytes per symbol, the same
+        # regime as the paper's 12.5.
+        rng = random.Random(0)
+        texts = [random_dna(rng, rng.randint(100, 400)) for _ in range(30)]
+        database = SequenceDatabase.from_texts(texts, alphabet=DNA_ALPHABET)
+        tree = GeneralizedSuffixTree.build(database)
+        layout = build_disk_image(tree, tmp_path / "dna.oasis", block_size=2048)
+        assert 8.0 <= layout.bytes_per_symbol <= 30.0
+
+
+class TestDiskSuffixTree:
+    def test_rejects_mismatched_database(self, paper_image):
+        path, _, _ = paper_image
+        other = SequenceDatabase.from_texts(["ACGTACGT"], alphabet=DNA_ALPHABET)
+        with pytest.raises(ValueError):
+            DiskSuffixTree(path, other)
+
+    def test_contains_and_occurrences_match_memory_tree(self, paper_image, paper_database):
+        path, _, tree = paper_image
+        with DiskSuffixTree(path, paper_database, buffer_pool_bytes=1024) as disk:
+            assert disk.contains("TACG")
+            assert disk.find_occurrences("TACG") == tree.find_occurrences("TACG")
+            assert not disk.contains("GGG")
+
+    def test_statistics_accumulate(self, paper_image, paper_database):
+        path, _, _ = paper_image
+        with DiskSuffixTree(path, paper_database, buffer_pool_bytes=1024) as disk:
+            disk.find_occurrences("TACG")
+            assert disk.statistics.requests > 0
+            disk.reset_statistics()
+            assert disk.statistics.requests == 0
+
+    def test_leaf_positions_cover_all_suffixes(self, paper_image, paper_database):
+        path, _, _ = paper_image
+        with DiskSuffixTree(path, paper_database, buffer_pool_bytes=4096) as disk:
+            positions = sorted(disk.leaf_positions(disk.root))
+            assert positions == list(range(len(PAPER_TARGET)))
+
+    def test_string_depth_and_arcs(self, paper_image, paper_database):
+        path, _, _ = paper_image
+        with DiskSuffixTree(path, paper_database, buffer_pool_bytes=4096) as disk:
+            for child in disk.children(disk.root):
+                start, length = disk.arc(child)
+                assert length > 0
+                assert len(disk.arc_symbols(child)) == length
+                assert disk.string_depth(child) == length
+
+    def test_suffix_start_requires_leaf(self, paper_image, paper_database):
+        path, _, _ = paper_image
+        with DiskSuffixTree(path, paper_database, buffer_pool_bytes=4096) as disk:
+            with pytest.raises(TypeError):
+                disk.suffix_start(disk.root)
+
+    def test_bytes_per_symbol_property(self, paper_image, paper_database):
+        path, _, _ = paper_image
+        with DiskSuffixTree(path, paper_database) as disk:
+            assert disk.bytes_per_symbol > 0
+            assert disk.internal_node_count > 0
+
+    @pytest.mark.parametrize("seed", range(3))
+    def test_random_roundtrip_matches_memory_tree(self, tmp_path, seed):
+        rng = random.Random(seed)
+        texts = [random_dna(rng, rng.randint(20, 120)) for _ in range(6)]
+        database = SequenceDatabase.from_texts(texts, alphabet=DNA_ALPHABET)
+        tree = GeneralizedSuffixTree.build(database)
+        path = tmp_path / f"random{seed}.oasis"
+        build_disk_image(tree, path, block_size=512)
+        with DiskSuffixTree(path, database, buffer_pool_bytes=2048) as disk:
+            for _ in range(60):
+                query = random_dna(rng, rng.randint(1, 7))
+                assert disk.find_occurrences(query) == tree.find_occurrences(query)
+
+    def test_tiny_buffer_pool_still_correct(self, paper_image, paper_database):
+        path, _, tree = paper_image
+        with DiskSuffixTree(path, paper_database, buffer_pool_bytes=256) as disk:
+            assert disk.pool.frame_count == 1
+            assert disk.find_occurrences("TAG") == tree.find_occurrences("TAG")
+            assert disk.statistics.hit_ratio < 1.0

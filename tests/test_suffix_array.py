@@ -1,0 +1,97 @@
+"""Unit tests for repro.suffixtree.suffix_array."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.suffixtree.suffix_array import (
+    build_lcp_array,
+    build_suffix_array,
+    longest_common_prefix,
+    verify_suffix_array,
+)
+
+
+def naive_suffix_array(codes):
+    suffixes = [(tuple(codes[i:]), i) for i in range(len(codes))]
+    return [position for _, position in sorted(suffixes)]
+
+
+def naive_lcp(codes, sa):
+    lcp = [0] * len(sa)
+    for k in range(1, len(sa)):
+        i, j = sa[k], sa[k - 1]
+        length = 0
+        while i + length < len(codes) and j + length < len(codes) and codes[i + length] == codes[j + length]:
+            length += 1
+        lcp[k] = length
+    return lcp
+
+
+class TestSuffixArray:
+    def test_banana(self):
+        codes = np.array([1, 0, 2, 0, 2, 0], dtype=np.int64)  # "banana" with a<n<b
+        assert build_suffix_array(codes).tolist() == naive_suffix_array(codes)
+
+    def test_empty_and_singleton(self):
+        assert build_suffix_array(np.array([], dtype=np.int64)).tolist() == []
+        assert build_suffix_array(np.array([5], dtype=np.int64)).tolist() == [0]
+
+    def test_all_equal_symbols(self):
+        codes = np.zeros(10, dtype=np.int64)
+        assert build_suffix_array(codes).tolist() == list(range(9, -1, -1))
+
+    def test_rejects_2d_input(self):
+        with pytest.raises(ValueError):
+            build_suffix_array(np.zeros((2, 2)))
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_against_naive(self, seed):
+        rng = random.Random(seed)
+        codes = np.array([rng.randint(0, 4) for _ in range(rng.randint(2, 120))], dtype=np.int64)
+        sa = build_suffix_array(codes)
+        assert sa.tolist() == naive_suffix_array(codes)
+        assert verify_suffix_array(codes, sa)
+
+    def test_verify_rejects_wrong_order(self):
+        codes = np.array([0, 1, 0, 1], dtype=np.int64)
+        sa = build_suffix_array(codes)
+        wrong = sa[::-1].copy()
+        assert not verify_suffix_array(codes, wrong)
+
+    def test_verify_rejects_non_permutation(self):
+        codes = np.array([0, 1, 2], dtype=np.int64)
+        assert not verify_suffix_array(codes, np.array([0, 0, 1]))
+
+
+class TestLcpArray:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_against_naive(self, seed):
+        rng = random.Random(100 + seed)
+        codes = np.array([rng.randint(0, 3) for _ in range(rng.randint(2, 100))], dtype=np.int64)
+        sa = build_suffix_array(codes)
+        assert build_lcp_array(codes, sa).tolist() == naive_lcp(codes, sa)
+
+    def test_first_entry_is_zero(self):
+        codes = np.array([0, 1, 0, 1, 0], dtype=np.int64)
+        sa = build_suffix_array(codes)
+        assert build_lcp_array(codes, sa)[0] == 0
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            build_lcp_array(np.array([0, 1]), np.array([0]))
+
+
+class TestLongestCommonPrefix:
+    def test_basic(self):
+        codes = np.array([0, 1, 2, 0, 1, 3], dtype=np.int64)
+        assert longest_common_prefix(codes, 0, 3) == 2
+
+    def test_limit(self):
+        codes = np.array([0, 0, 0, 0, 0], dtype=np.int64)
+        assert longest_common_prefix(codes, 0, 1, limit=2) == 2
+
+    def test_identical_position(self):
+        codes = np.array([0, 1, 2], dtype=np.int64)
+        assert longest_common_prefix(codes, 1, 1) == 2

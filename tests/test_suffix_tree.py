@@ -1,0 +1,166 @@
+"""Unit tests for the generalized suffix tree (construction + queries)."""
+
+import random
+
+import pytest
+
+from repro.sequences.alphabet import DNA_ALPHABET, PROTEIN_ALPHABET
+from repro.sequences.database import SequenceDatabase
+from repro.suffixtree.construction import rightmost_path, validate_tree
+from repro.suffixtree.generalized import GeneralizedSuffixTree
+from repro.suffixtree.nodes import InternalNode, LeafNode, count_nodes, iter_leaves
+
+from conftest import PAPER_TARGET, random_dna
+
+
+def brute_force_occurrences(texts, query):
+    return sorted(
+        (i, j)
+        for i, text in enumerate(texts)
+        for j in range(len(text) - len(query) + 1)
+        if text[j : j + len(query)] == query
+    )
+
+
+class TestPaperExample:
+    """Checks against the Figure 2 tree on AGTACGCCTAG."""
+
+    def test_leaf_count_equals_sequence_length(self, paper_tree):
+        assert paper_tree.leaf_count == len(PAPER_TARGET)
+
+    def test_contains_tacg(self, paper_tree):
+        assert paper_tree.contains("TACG")
+
+    def test_tacg_occurrence_position(self, paper_tree):
+        # The paper: "this substring is present ... beginning at position 2".
+        assert paper_tree.find_occurrences("TACG") == [(0, 2)]
+
+    def test_absent_substring(self, paper_tree):
+        assert not paper_tree.contains("GGG")
+        assert paper_tree.find_occurrences("GGG") == []
+
+    def test_full_sequence_is_a_path(self, paper_tree):
+        assert paper_tree.contains(PAPER_TARGET)
+
+    def test_structure_is_valid(self, paper_tree):
+        assert paper_tree.validate() == []
+
+    def test_path_labels_are_prefix_closed(self, paper_tree):
+        for leaf in iter_leaves(paper_tree.root):
+            label = paper_tree.path_label(leaf)
+            # Every leaf path is suffix + terminal.
+            assert label.endswith("$")
+            assert PAPER_TARGET.endswith(label[:-1]) or label[:-1] in PAPER_TARGET
+
+
+class TestConstructionProperties:
+    def test_one_leaf_per_database_symbol(self, small_dna_database):
+        tree = GeneralizedSuffixTree.build(small_dna_database)
+        assert tree.leaf_count == small_dna_database.total_symbols
+
+    def test_internal_nodes_bounded_by_leaves(self, small_dna_database):
+        tree = GeneralizedSuffixTree.build(small_dna_database)
+        assert tree.internal_node_count < tree.leaf_count + 1
+
+    def test_every_leaf_maps_to_its_sequence(self, small_dna_database):
+        tree = GeneralizedSuffixTree.build(small_dna_database)
+        for leaf in iter_leaves(tree.root):
+            sequence_index, offset = small_dna_database.locate(leaf.suffix_start)
+            assert leaf.sequence_index == sequence_index
+            assert offset < len(small_dna_database[sequence_index])
+
+    def test_validate_reports_no_problems(self, small_dna_database):
+        assert GeneralizedSuffixTree.build(small_dna_database).validate() == []
+
+    def test_protein_database(self, small_protein_database):
+        tree = GeneralizedSuffixTree.build(small_protein_database)
+        assert tree.validate() == []
+        core = "WKDDGNGYISAAE"
+        assert tree.contains(core)
+        # Planted in half of the family members verbatim.
+        assert len(tree.find_occurrences(core)) >= 3
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_occurrences_match_brute_force(self, seed):
+        rng = random.Random(seed)
+        texts = [random_dna(rng, rng.randint(5, 60)) for _ in range(rng.randint(1, 5))]
+        database = SequenceDatabase.from_texts(texts, alphabet=DNA_ALPHABET)
+        tree = GeneralizedSuffixTree.build(database)
+        for _ in range(25):
+            length = rng.randint(1, 7)
+            query = random_dna(rng, length)
+            assert tree.find_occurrences(query) == brute_force_occurrences(texts, query)
+
+    def test_repeated_identical_sequences(self):
+        database = SequenceDatabase.from_texts(["ACGT", "ACGT", "ACGT"], alphabet=DNA_ALPHABET)
+        tree = GeneralizedSuffixTree.build(database)
+        assert tree.validate() == []
+        assert tree.find_occurrences("ACG") == [(0, 0), (1, 0), (2, 0)]
+
+    def test_single_symbol_sequence(self):
+        database = SequenceDatabase.from_texts(["A"], alphabet=DNA_ALPHABET)
+        tree = GeneralizedSuffixTree.build(database)
+        assert tree.leaf_count == 1
+        assert tree.contains("A")
+        assert not tree.contains("C")
+
+
+class TestCursorInterface:
+    def test_root_and_children(self, paper_tree):
+        root = paper_tree.root
+        assert not paper_tree.is_leaf(root)
+        children = paper_tree.children(root)
+        assert len(children) >= 4  # A, C, G, T branches at least
+
+    def test_arc_symbols_match_arc_span(self, paper_tree):
+        for child in paper_tree.children(paper_tree.root):
+            start, length = paper_tree.arc(child)
+            assert len(paper_tree.arc_symbols(child)) == length
+
+    def test_string_depth_of_leaf(self, paper_tree):
+        for leaf in iter_leaves(paper_tree.root):
+            depth = paper_tree.string_depth(leaf)
+            # suffix length + terminal
+            assert depth == len(PAPER_TARGET) - leaf.suffix_start + 1
+
+    def test_suffix_start_only_for_leaves(self, paper_tree):
+        with pytest.raises(TypeError):
+            paper_tree.suffix_start(paper_tree.root)
+
+    def test_leaf_positions_cover_all_suffixes(self, paper_tree):
+        positions = sorted(paper_tree.leaf_positions(paper_tree.root))
+        assert positions == list(range(len(PAPER_TARGET)))
+
+    def test_sequences_below_root(self, small_dna_database):
+        tree = GeneralizedSuffixTree.build(small_dna_database)
+        assert sorted(tree.sequences_below(tree.root)) == list(range(len(small_dna_database)))
+
+    def test_find_exact_returns_none_for_missing(self, paper_tree):
+        assert paper_tree.find_exact(DNA_ALPHABET.encode("AGTT")) is None
+
+    def test_arc_label(self, paper_tree):
+        labels = {paper_tree.arc_label(c)[0] for c in paper_tree.children(paper_tree.root)}
+        assert labels <= set("ACGT$")
+
+
+class TestNodeHelpers:
+    def test_count_nodes(self, paper_tree):
+        counts = count_nodes(paper_tree.root)
+        assert counts["leaves"] == paper_tree.leaf_count
+        assert counts["internal"] == paper_tree.internal_node_count
+        assert counts["total"] == counts["leaves"] + counts["internal"]
+
+    def test_rightmost_path_ends_at_last_leaf(self, paper_tree):
+        stack = rightmost_path(paper_tree.root)
+        assert stack[0][0] is paper_tree.root
+        last_node, last_depth = stack[-1]
+        assert isinstance(last_node, (InternalNode, LeafNode))
+        assert last_depth > 0
+
+    def test_validate_tree_detects_bad_arc(self, paper_database):
+        tree = GeneralizedSuffixTree.build(paper_database)
+        # Corrupt one leaf arc on purpose.
+        leaf = next(iter_leaves(tree.root))
+        leaf.edge_end = leaf.edge_start  # empty arc
+        problems = validate_tree(tree.root, paper_database.concatenated_codes)
+        assert problems
