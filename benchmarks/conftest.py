@@ -7,33 +7,21 @@ selected by ``OASIS_BENCH_SCALE`` (default ``small``), with the workload size
 capped by ``OASIS_BENCH_QUERIES`` (default 24) so that the full suite finishes
 in a few minutes; raise either knob for sharper curves.
 
-Run with ``pytest benchmarks/ --benchmark-only -s`` to see the tables.
+The plain helpers (``bench_config``, ``emit``) live in :mod:`repro.testing`
+so benchmark modules can import them without relying on cross-directory
+``conftest`` module resolution; only the fixtures live here.
+
+Run with ``pytest benchmarks/ -s`` to see the tables.
 """
 
 from __future__ import annotations
 
-import os
-
 import pytest
 
-from repro.experiments.common import ExperimentConfig, default_config
-
-#: Default number of workload queries used by the per-figure benchmarks.
-DEFAULT_BENCH_QUERIES = 24
-
-
-def bench_config(**overrides) -> ExperimentConfig:
-    """The experiment configuration the benchmarks run with."""
-    query_count = int(os.environ.get("OASIS_BENCH_QUERIES", str(DEFAULT_BENCH_QUERIES)))
-    return default_config(query_count=query_count, **overrides)
+from repro.experiments.common import ExperimentConfig
+from repro.testing import bench_config
 
 
 @pytest.fixture(scope="session")
 def config() -> ExperimentConfig:
     return bench_config()
-
-
-def emit(result) -> None:
-    """Print an experiment's table (shown with ``-s``; kept out of captures)."""
-    print()
-    print(result.format_table())

@@ -5,7 +5,7 @@ so every rule subset must return identical results, and the full rule set must
 do the least work.
 """
 
-from conftest import emit
+from repro.testing import emit
 
 from repro.experiments import ablation_pruning
 

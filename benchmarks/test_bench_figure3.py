@@ -8,7 +8,7 @@ OASIS must not be slower than S-W overall -- while the full numbers are
 printed for the record.
 """
 
-from conftest import emit
+from repro.testing import emit
 
 from repro.experiments import figure3
 

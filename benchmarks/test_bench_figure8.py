@@ -6,7 +6,7 @@ the pool shrinks, while symbol and leaf accesses, which are random by nature,
 degrade first.
 """
 
-from conftest import emit
+from repro.testing import emit
 
 from repro.experiments import figure8
 

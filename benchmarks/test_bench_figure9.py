@@ -6,7 +6,7 @@ produce anything, and results keep streaming in decreasing score order until
 the full result set (~5 900 alignments in the paper) is emitted.
 """
 
-from conftest import emit
+from repro.testing import emit
 
 from repro.experiments import figure9
 

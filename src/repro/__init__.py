@@ -22,17 +22,23 @@ reproduction of every table and figure in the paper's evaluation section.
 """
 
 from repro.core.engine import OasisEngine
+from repro.core.oasis import OasisSearchStatistics, QueryExecution
 from repro.core.results import Alignment, SearchHit, SearchResult
+from repro.parallel import BatchSearchExecutor, BatchSearchReport
 from repro.sequences.database import SequenceDatabase
 from repro.sequences.sequence import Sequence, SequenceRecord
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "OasisEngine",
+    "OasisSearchStatistics",
+    "QueryExecution",
     "Alignment",
     "SearchHit",
     "SearchResult",
+    "BatchSearchExecutor",
+    "BatchSearchReport",
     "SequenceDatabase",
     "Sequence",
     "SequenceRecord",

@@ -6,8 +6,10 @@ Sub-commands
     Write a synthetic SWISS-PROT-like database (and optionally a motif
     workload) to FASTA / text files.
 ``search``
-    Run an OASIS search for one query against a FASTA database and print the
-    hits in decreasing score order.
+    Run OASIS searches against a FASTA database and print the hits in
+    decreasing score order.  ``--query`` searches one sequence; ``--queries``
+    runs a whole file of them, fanned out over ``--workers`` threads through
+    the concurrent batch executor (optionally with a per-query ``--timeout``).
 ``experiment``
     Run one of the paper's experiments (figure3 .. figure9, space) and print
     its table.
@@ -16,8 +18,9 @@ Examples
 --------
 ::
 
-    repro-oasis generate --output proteins.fasta --families 30 --seed 7
+    repro-oasis generate --output proteins.fasta --queries workload.txt --seed 7
     repro-oasis search --database proteins.fasta --query MKVLAADTGLAV --evalue 20
+    repro-oasis search --database proteins.fasta --queries workload.txt --workers 4
     repro-oasis experiment figure4 --scale tiny
 """
 
@@ -52,7 +55,9 @@ def _build_parser() -> argparse.ArgumentParser:
 
     search = subparsers.add_parser("search", help="search a FASTA database with OASIS")
     search.add_argument("--database", required=True, help="FASTA file with the target sequences")
-    search.add_argument("--query", required=True, help="query sequence text")
+    queries = search.add_mutually_exclusive_group(required=True)
+    queries.add_argument("--query", help="query sequence text")
+    queries.add_argument("--queries", help="file with one query sequence per line (batch mode)")
     search.add_argument(
         "--matrix", default="PAM30", choices=available_matrices(), help="substitution matrix"
     )
@@ -61,6 +66,17 @@ def _build_parser() -> argparse.ArgumentParser:
     selectivity.add_argument("--evalue", type=float, help="E-value cutoff (Equation 3)")
     selectivity.add_argument("--min-score", type=int, help="raw minimum alignment score")
     search.add_argument("--max-results", type=int, help="stop after this many hits (online mode)")
+    search.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="concurrent search threads over the shared index (default 1)",
+    )
+    search.add_argument(
+        "--timeout",
+        type=float,
+        help="per-query wall-clock budget in seconds (partial results are kept)",
+    )
 
     experiment = subparsers.add_parser("experiment", help="run one of the paper's experiments")
     experiment.add_argument(
@@ -100,21 +116,23 @@ def _command_generate(args: argparse.Namespace) -> int:
     return 0
 
 
-def _command_search(args: argparse.Namespace) -> int:
-    database = read_fasta(args.database)
-    matrix = load_matrix(args.matrix)
-    engine = OasisEngine.build(database, matrix=matrix, gap_model=FixedGapModel(args.gap))
-    if args.evalue is None and args.min_score is None:
-        args.evalue = 10.0
-    result = engine.search(
-        args.query,
-        evalue=args.evalue,
-        min_score=args.min_score,
-        max_results=args.max_results,
-    )
+def _read_query_file(path: str) -> List[str]:
+    with open(path, "r", encoding="utf-8") as handle:
+        queries = [line.strip() for line in handle]
+    queries = [query for query in queries if query]
+    if not queries:
+        raise SystemExit(f"no queries found in {path}")
+    return queries
+
+
+def _print_single_result(result) -> None:
+    timed_out = bool(result.parameters.get("timed_out"))
     if not result.hits:
-        print("no alignments above the threshold")
-        return 0
+        if timed_out:
+            print("no alignments found before the time budget ran out")
+        else:
+            print("no alignments above the threshold")
+        return
     print(f"{'sequence':30s} {'score':>6s} {'E-value':>12s}")
     for hit in result:
         evalue = f"{hit.evalue:.3g}" if hit.evalue is not None else "-"
@@ -123,7 +141,53 @@ def _command_search(args: argparse.Namespace) -> int:
         f"\n{len(result)} hits in {result.elapsed_seconds:.3f}s "
         f"({result.columns_expanded} DP columns expanded)"
     )
-    return 0
+    if timed_out:
+        print("warning: time budget exhausted -- the hit list is partial")
+
+
+def _command_search(args: argparse.Namespace) -> int:
+    database = read_fasta(args.database)
+    matrix = load_matrix(args.matrix)
+    engine = OasisEngine.build(database, matrix=matrix, gap_model=FixedGapModel(args.gap))
+    if args.evalue is None and args.min_score is None:
+        args.evalue = 10.0
+    if args.workers < 1:
+        raise SystemExit("--workers must be at least 1")
+    queries = [args.query] if args.query is not None else _read_query_file(args.queries)
+
+    # Single and batch mode both run through the concurrent executor; a lone
+    # query is simply a batch of one.
+    report = engine.search_many(
+        queries,
+        workers=args.workers,
+        evalue=args.evalue,
+        min_score=args.min_score,
+        max_results=args.max_results,
+        timeout=args.timeout,
+    )
+
+    if len(queries) == 1:
+        report.raise_first_error()
+        _print_single_result(report.outcomes[0].result)
+        return 0
+
+    # Batch mode is fault-tolerant: a malformed query must not discard the
+    # other results, so failures become rows instead of a traceback.
+    print(f"{'query':40s} {'hits':>6s} {'best':>6s} {'seconds':>9s}")
+    for outcome in report.outcomes:
+        label = outcome.query if len(outcome.query) <= 40 else outcome.query[:37] + "..."
+        if not outcome.ok:
+            print(f"{label:40s} {'-':>6s} {'-':>6s} {'-':>9s} error: {outcome.error}")
+            continue
+        result = outcome.result
+        flag = " (timeout)" if outcome.timed_out else ""
+        print(
+            f"{label:40s} {len(result):6d} {result.best_score:6d} "
+            f"{outcome.elapsed_seconds:9.3f}{flag}"
+        )
+    print()
+    print(report.format_summary())
+    return 1 if report.statistics.failed else 0
 
 
 def _command_experiment(args: argparse.Namespace) -> int:

@@ -19,11 +19,15 @@ configuration and the E-value conversion, and exposes both the batch
 from __future__ import annotations
 
 import os
-from typing import Iterator, Optional, Union
+import threading
+from typing import TYPE_CHECKING, Iterable, Iterator, Optional, Union
 
 from repro.core.evalue import SelectivityConverter
-from repro.core.oasis import OasisSearch, OasisSearchStatistics
+from repro.core.oasis import OasisSearch, OasisSearchStatistics, QueryExecution
 from repro.core.results import SearchHit, SearchResult
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations only
+    from repro.parallel.executor import BatchSearchReport
 from repro.scoring.gaps import FixedGapModel, GapModel
 from repro.scoring.matrix import SubstitutionMatrix
 from repro.sequences.database import SequenceDatabase
@@ -114,12 +118,47 @@ class OasisEngine:
 
     @property
     def statistics(self) -> OasisSearchStatistics:
-        """Work counters of the most recent query."""
+        """Work counters of the most recently *started* query.
+
+        Serial callers can keep reading this after each search; concurrent
+        callers must use the per-execution object instead -- every
+        :class:`~repro.core.oasis.QueryExecution` owns its own statistics and
+        every :class:`~repro.core.results.SearchResult` carries the statistics
+        of exactly the execution that produced it (``result.statistics``).
+        """
         return self._search.statistics
 
     def min_score_for(self, query: str, evalue: float) -> int:
         """The ``min_score`` equivalent to an E-value cutoff for this query."""
         return self.converter.min_score_for_evalue(evalue, len(query))
+
+    def execute(
+        self,
+        query: str,
+        min_score: Optional[int] = None,
+        evalue: Optional[float] = None,
+        max_results: Optional[int] = None,
+        compute_alignments: bool = False,
+        time_budget: Optional[float] = None,
+        cancel_event: Optional[threading.Event] = None,
+    ) -> QueryExecution:
+        """Create a self-contained, reentrant execution for one query.
+
+        The execution owns its queue, statistics and timing; any number of
+        them can run concurrently (interleaved on one thread or spread over a
+        thread pool) against this engine's shared read-only index.  Iterate it
+        for the online stream or call ``.result()`` for the batch result.
+        """
+        threshold = self._resolve_threshold(query, min_score, evalue)
+        return self._search.execute(
+            query,
+            min_score=threshold,
+            max_results=max_results,
+            compute_alignments=compute_alignments,
+            statistics_model=self.converter.parameters,
+            time_budget=time_budget,
+            cancel_event=cancel_event,
+        )
 
     def search(
         self,
@@ -135,14 +174,13 @@ class OasisEngine:
         experiments specify E-values; Equation 3 converts them).  Results are
         ordered by decreasing score and annotated with E-values.
         """
-        threshold = self._resolve_threshold(query, min_score, evalue)
-        return self._search.search(
+        return self.execute(
             query,
-            min_score=threshold,
+            min_score=min_score,
+            evalue=evalue,
             max_results=max_results,
             compute_alignments=compute_alignments,
-            statistics_model=self.converter.parameters,
-        )
+        ).result()
 
     def search_online(
         self,
@@ -153,14 +191,50 @@ class OasisEngine:
         compute_alignments: bool = False,
     ) -> Iterator[SearchHit]:
         """Stream hits in decreasing score order (abort whenever satisfied)."""
-        threshold = self._resolve_threshold(query, min_score, evalue)
-        return self._search.run(
-            query,
-            min_score=threshold,
+        return iter(
+            self.execute(
+                query,
+                min_score=min_score,
+                evalue=evalue,
+                max_results=max_results,
+                compute_alignments=compute_alignments,
+            )
+        )
+
+    def search_many(
+        self,
+        queries: Iterable[str],
+        workers: int = 4,
+        min_score: Optional[int] = None,
+        evalue: Optional[float] = None,
+        max_results: Optional[int] = None,
+        compute_alignments: bool = False,
+        timeout: Optional[float] = None,
+    ) -> "BatchSearchReport":
+        """Run a batch of queries concurrently over the shared index.
+
+        Fans the queries out across ``workers`` threads (threads, not
+        processes: expansion is NumPy-bound and the index is shared) and
+        returns a :class:`~repro.parallel.BatchSearchReport` with per-query
+        results in input order plus aggregated statistics.  ``timeout`` is a
+        per-query wall-clock budget in seconds; a query exceeding it stops
+        early with the hits found so far and is flagged ``timed_out``.
+
+        For streaming consumption (results as they complete), use
+        :class:`repro.parallel.BatchSearchExecutor` directly.
+        """
+        from repro.parallel.executor import BatchSearchExecutor
+
+        executor = BatchSearchExecutor.for_engine(
+            self,
+            workers=workers,
+            timeout=timeout,
+            min_score=min_score,
+            evalue=evalue,
             max_results=max_results,
             compute_alignments=compute_alignments,
-            statistics_model=self.converter.parameters,
         )
+        return executor.run(queries)
 
     def _resolve_threshold(
         self, query: str, min_score: Optional[int], evalue: Optional[float]

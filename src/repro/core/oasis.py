@@ -1,12 +1,19 @@
 """The OASIS search driver: Algorithms 1 and 2 of the paper.
 
-:class:`OasisSearch` runs a best-first (A*) search over a suffix tree cursor.
-The priority queue is ordered by the optimistic bound ``f``; a node is only
-expanded when no other frontier node could produce a stronger alignment, so
-whenever an ACCEPTED node reaches the head of the queue its alignment score is
-provably the best still-unreported score anywhere in the database -- which is
-what lets OASIS emit results online, in decreasing score order, without ever
-missing an alignment above the threshold.
+:class:`QueryExecution` runs a best-first (A*) search over a suffix tree
+cursor.  The priority queue is ordered by the optimistic bound ``f``; a node
+is only expanded when no other frontier node could produce a stronger
+alignment, so whenever an ACCEPTED node reaches the head of the queue its
+alignment score is provably the best still-unreported score anywhere in the
+database -- which is what lets OASIS emit results online, in decreasing score
+order, without ever missing an alignment above the threshold.
+
+Each execution is a *self-contained* object owning its own priority queue,
+:class:`~repro.core.expand.ExpansionContext`, statistics and timing, so any
+number of executions can run concurrently (interleaved generators on one
+thread, or threads of a batch executor) over the same shared read-only
+cursor.  :class:`OasisSearch` is the per-configuration factory: ``run`` and
+``search`` are thin wrappers that create one execution per call.
 
 Results follow the paper's reporting convention: the single strongest
 alignment per database sequence, for every sequence whose best score reaches
@@ -16,11 +23,10 @@ alignment per database sequence, for every sequence whose best score reaches
 from __future__ import annotations
 
 import heapq
+import threading
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Set
-
-import numpy as np
 
 from repro.core.expand import ExpansionContext, expand_arc
 from repro.core.heuristic import compute_heuristic_vector
@@ -63,16 +69,279 @@ class OasisSearchStatistics:
         }
 
 
-@dataclass
-class _EmittedHit:
-    """Internal carrier pairing a hit with the emission timestamp."""
+class QueryExecution:
+    """One self-contained, reentrant run of Algorithms 1/2 for a single query.
 
-    hit: SearchHit
-    elapsed: float
+    The execution owns everything mutable about a search -- the priority
+    queue, the :class:`ExpansionContext`, the statistics and the timing -- so
+    concurrent executions over the same cursor never observe each other.  It
+    is both iterable (streaming hits, strongest first) and collectable
+    (:meth:`result`); the iterator can be abandoned at any point and
+    :attr:`statistics` still reports the work actually done, because the
+    bookkeeping runs in a ``finally`` block when the generator is closed.
+
+    Cooperative interruption:
+
+    ``time_budget``
+        Optional wall-clock budget in seconds; once exceeded, the execution
+        stops emitting and marks itself :attr:`timed_out`.  Hits already
+        emitted stand (they are still correct and complete down to the score
+        reached).
+    ``cancel_event``
+        Optional :class:`threading.Event` shared with a batch executor; when
+        set, the execution stops at the next queue pop.
+    ``abort()``
+        Per-execution flag with the same effect as the cancel event.
+    """
+
+    def __init__(
+        self,
+        search: "OasisSearch",
+        query: str,
+        min_score: int,
+        max_results: Optional[int] = None,
+        compute_alignments: bool = False,
+        statistics_model: Optional[KarlinAltschulParameters] = None,
+        time_budget: Optional[float] = None,
+        cancel_event: Optional[threading.Event] = None,
+    ):
+        if time_budget is not None and time_budget <= 0:
+            raise ValueError("time_budget must be positive")
+        database = search.cursor.database
+        self.query_sequence = Sequence(query, database.alphabet)
+        if len(self.query_sequence.codes) == 0:
+            raise ValueError("the query must not be empty")
+
+        self.search = search
+        self.query = query
+        self.min_score = int(min_score)
+        self.max_results = max_results
+        self.compute_alignments = compute_alignments
+        self.statistics_model = statistics_model
+        self.time_budget = time_budget
+        self.statistics = OasisSearchStatistics()
+        self.timed_out = False
+        self.aborted = False
+
+        self._cancel_event = cancel_event
+        self._abort_requested = False
+        self._deadline: Optional[float] = None
+        self._start_time: Optional[float] = None
+        self._hits: List[SearchHit] = []
+        self._online_log = OnlineResultLog()
+        self._iterator: Optional[Iterator[SearchHit]] = None
+
+        self.heuristic = compute_heuristic_vector(self.query_sequence.codes, search.matrix)
+        self.context = ExpansionContext(
+            query_codes=self.query_sequence.codes,
+            score_lookup=search.matrix.lookup,
+            gap_penalty=search.gap_model.per_symbol,
+            heuristic=self.heuristic,
+            min_score=self.min_score,
+            prune_non_positive=search.prune_non_positive,
+            prune_dominated=search.prune_dominated,
+            prune_threshold=search.prune_threshold,
+            track_pruning=search.track_pruning,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Cooperative interruption
+    # ------------------------------------------------------------------ #
+    def abort(self) -> None:
+        """Ask the execution to stop at the next queue pop (thread-safe)."""
+        self._abort_requested = True
+
+    def _should_stop(self) -> bool:
+        if self._abort_requested or (
+            self._cancel_event is not None and self._cancel_event.is_set()
+        ):
+            self.aborted = True
+            return True
+        if self._deadline is not None and time.perf_counter() >= self._deadline:
+            self.timed_out = True
+            return True
+        return False
+
+    # ------------------------------------------------------------------ #
+    # Streaming (online) interface
+    # ------------------------------------------------------------------ #
+    def __iter__(self) -> Iterator[SearchHit]:
+        if self._iterator is None:
+            self._iterator = self._generate()
+        return self._iterator
+
+    def __next__(self) -> SearchHit:
+        return next(iter(self))
+
+    def close(self) -> None:
+        """Abandon the stream early (statistics still reflect the work done)."""
+        if self._iterator is not None:
+            self._iterator.close()
+
+    def _generate(self) -> Iterator[SearchHit]:
+        """Yield hits online, strongest first (Algorithm 1).
+
+        The generator can be abandoned at any point ("abort the query after
+        seeing the top few matches"); all work stops as soon as the consumer
+        stops iterating, and ``finally`` guarantees the statistics are
+        finalised even then.
+        """
+        cursor = self.search.cursor
+        database = cursor.database
+        context = self.context
+        statistics = self.statistics
+        min_score = self.min_score
+        query_codes = self.query_sequence.codes
+
+        start_time = time.perf_counter()
+        self._start_time = start_time
+        if self.time_budget is not None:
+            self._deadline = start_time + self.time_budget
+
+        try:
+            # Algorithm 2: seed the queue with the root of the suffix tree.
+            root_column = context.make_root_column()
+            root_bound = int(self.heuristic.max())
+            root_node = SearchNode(
+                tree_node=cursor.root,
+                column=root_column,
+                max_score=0,
+                f=root_bound,
+                b=0,
+                state=NodeState.VIABLE if root_bound >= min_score else NodeState.UNVIABLE,
+                depth=0,
+            )
+            if root_node.is_unviable:
+                # Even a perfect match cannot reach the threshold.
+                return
+
+            counter = 0
+            queue = [make_queue_entry(root_node, counter)]
+            reported: Set[int] = set()
+            emitted = 0
+            sequence_count = len(database)
+
+            while queue:
+                if self._should_stop():
+                    return
+                if len(queue) > statistics.max_queue_size:
+                    statistics.max_queue_size = len(queue)
+                node = heapq.heappop(queue)[-1]
+
+                if node.is_accepted:
+                    statistics.nodes_accepted += 1
+                    for sequence_index in cursor.sequences_below(node.tree_node):
+                        if sequence_index in reported:
+                            continue
+                        reported.add(sequence_index)
+                        record = database[sequence_index]
+                        alignment: Optional[Alignment] = None
+                        if self.compute_alignments:
+                            alignment = self.search._trace_alignment(
+                                self.query_sequence.text, record.text
+                            )
+                        evalue = None
+                        if self.statistics_model is not None:
+                            evalue = self.statistics_model.evalue(
+                                node.max_score, len(query_codes), database.total_symbols
+                            )
+                        hit = SearchHit(
+                            sequence_index=sequence_index,
+                            sequence_identifier=record.identifier,
+                            score=node.max_score,
+                            evalue=evalue,
+                            alignment=alignment,
+                            emitted_at=time.perf_counter() - start_time,
+                        )
+                        emitted += 1
+                        self._hits.append(hit)
+                        self._online_log.record(
+                            hit.emitted_at if hit.emitted_at is not None else 0.0
+                        )
+                        yield hit
+                        if self.max_results is not None and emitted >= self.max_results:
+                            return
+                    if len(reported) >= sequence_count:
+                        # Every database sequence already has its strongest
+                        # alignment reported; nothing left to find.
+                        break
+                    continue
+
+                # VIABLE node: expand all children of the corresponding tree node.
+                statistics.nodes_expanded += 1
+                for child in cursor.children(node.tree_node):
+                    arc = cursor.arc_symbols(child)
+                    child_node = expand_arc(
+                        parent=node,
+                        tree_node=child,
+                        arc_symbols=arc,
+                        is_leaf=cursor.is_leaf(child),
+                        context=context,
+                    )
+                    if child_node.is_unviable:
+                        statistics.nodes_pruned += 1
+                        continue
+                    counter += 1
+                    statistics.nodes_enqueued += 1
+                    heapq.heappush(queue, make_queue_entry(child_node, counter))
+        finally:
+            # Runs on normal exhaustion, early return, GeneratorExit (an
+            # abandoned generator) and errors alike, so an aborted consumer
+            # still sees correct elapsed/columns counters.
+            self._finish()
+
+    def _finish(self) -> None:
+        context = self.context
+        statistics = self.statistics
+        statistics.columns_expanded = context.columns_expanded
+        statistics.pruned_non_positive = context.pruned_non_positive
+        statistics.pruned_dominated = context.pruned_dominated
+        statistics.pruned_threshold = context.pruned_threshold
+        if self._start_time is not None:
+            statistics.elapsed_seconds = time.perf_counter() - self._start_time
+
+    # ------------------------------------------------------------------ #
+    # Batch interface
+    # ------------------------------------------------------------------ #
+    def result(self) -> SearchResult:
+        """Drain the stream and collect everything into a SearchResult."""
+        for _ in self:
+            pass
+        result = SearchResult(
+            query=self.query.upper(),
+            engine="oasis",
+            hits=list(self._hits),
+            elapsed_seconds=self.statistics.elapsed_seconds,
+            columns_expanded=self.statistics.columns_expanded,
+            parameters={
+                "min_score": self.min_score,
+                "matrix": self.search.matrix.name,
+                "gap": self.search.gap_model.per_symbol,
+                "max_results": self.max_results,
+            },
+            statistics=self.statistics,
+        )
+        result.parameters["online_log"] = self._online_log
+        if self.timed_out:
+            result.parameters["timed_out"] = True
+        if self.aborted:
+            result.parameters["aborted"] = True
+        return result
+
+    def __repr__(self) -> str:
+        return (
+            f"QueryExecution(query={self.query!r}, min_score={self.min_score}, "
+            f"emitted={len(self._hits)})"
+        )
 
 
 class OasisSearch:
     """Best-first local-alignment search over a suffix tree.
+
+    Holds the per-database configuration (cursor, scoring, pruning switches)
+    and creates one :class:`QueryExecution` per query.  The object itself is
+    immutable during searching, so one ``OasisSearch`` can serve any number of
+    concurrent executions.
 
     Parameters
     ----------
@@ -110,7 +379,37 @@ class OasisSearch:
         self.prune_dominated = prune_dominated
         self.prune_threshold = prune_threshold
         self.track_pruning = track_pruning
+        #: Statistics of the most recently *created* execution.  Kept for
+        #: backward compatibility with serial callers; concurrent callers
+        #: should read ``execution.statistics`` / ``result.statistics``.
         self.statistics = OasisSearchStatistics()
+
+    # ------------------------------------------------------------------ #
+    # Execution factory
+    # ------------------------------------------------------------------ #
+    def execute(
+        self,
+        query: str,
+        min_score: int,
+        max_results: Optional[int] = None,
+        compute_alignments: bool = False,
+        statistics_model: Optional[KarlinAltschulParameters] = None,
+        time_budget: Optional[float] = None,
+        cancel_event: Optional[threading.Event] = None,
+    ) -> QueryExecution:
+        """Create a self-contained execution for one query."""
+        execution = QueryExecution(
+            self,
+            query,
+            min_score=min_score,
+            max_results=max_results,
+            compute_alignments=compute_alignments,
+            statistics_model=statistics_model,
+            time_budget=time_budget,
+            cancel_event=cancel_event,
+        )
+        self.statistics = execution.statistics
+        return execution
 
     # ------------------------------------------------------------------ #
     # Streaming (online) interface
@@ -123,122 +422,16 @@ class OasisSearch:
         compute_alignments: bool = False,
         statistics_model: Optional[KarlinAltschulParameters] = None,
     ) -> Iterator[SearchHit]:
-        """Yield hits online, strongest first (Algorithm 1).
-
-        The generator can be abandoned at any point ("abort the query after
-        seeing the top few matches"); all work stops as soon as the consumer
-        stops iterating.
-        """
-        database = self.cursor.database
-        query_sequence = Sequence(query, database.alphabet)
-        query_codes = query_sequence.codes
-        if len(query_codes) == 0:
-            raise ValueError("the query must not be empty")
-
-        start_time = time.perf_counter()
-        self.statistics = OasisSearchStatistics()
-
-        heuristic = compute_heuristic_vector(query_codes, self.matrix)
-        context = ExpansionContext(
-            query_codes=query_codes,
-            score_lookup=self.matrix.lookup,
-            gap_penalty=self.gap_model.per_symbol,
-            heuristic=heuristic,
-            min_score=min_score,
-            prune_non_positive=self.prune_non_positive,
-            prune_dominated=self.prune_dominated,
-            prune_threshold=self.prune_threshold,
-            track_pruning=self.track_pruning,
+        """Yield hits online, strongest first (Algorithm 1)."""
+        return iter(
+            self.execute(
+                query,
+                min_score=min_score,
+                max_results=max_results,
+                compute_alignments=compute_alignments,
+                statistics_model=statistics_model,
+            )
         )
-
-        # Algorithm 2: seed the queue with the root of the suffix tree.
-        root_column = context.make_root_column()
-        root_bound = int(heuristic.max())
-        root_node = SearchNode(
-            tree_node=self.cursor.root,
-            column=root_column,
-            max_score=0,
-            f=root_bound,
-            b=0,
-            state=NodeState.VIABLE if root_bound >= min_score else NodeState.UNVIABLE,
-            depth=0,
-        )
-        if root_node.is_unviable:
-            # Even a perfect match cannot reach the threshold.
-            self.statistics.elapsed_seconds = time.perf_counter() - start_time
-            return
-
-        counter = 0
-        queue = [make_queue_entry(root_node, counter)]
-        reported: Set[int] = set()
-        emitted = 0
-        sequence_count = len(database)
-
-        while queue:
-            if len(queue) > self.statistics.max_queue_size:
-                self.statistics.max_queue_size = len(queue)
-            node = heapq.heappop(queue)[-1]
-
-            if node.is_accepted:
-                self.statistics.nodes_accepted += 1
-                for sequence_index in self.cursor.sequences_below(node.tree_node):
-                    if sequence_index in reported:
-                        continue
-                    reported.add(sequence_index)
-                    record = database[sequence_index]
-                    alignment: Optional[Alignment] = None
-                    if compute_alignments:
-                        alignment = self._trace_alignment(query_sequence.text, record.text)
-                    evalue = None
-                    if statistics_model is not None:
-                        evalue = statistics_model.evalue(
-                            node.max_score, len(query_codes), database.total_symbols
-                        )
-                    hit = SearchHit(
-                        sequence_index=sequence_index,
-                        sequence_identifier=record.identifier,
-                        score=node.max_score,
-                        evalue=evalue,
-                        alignment=alignment,
-                        emitted_at=time.perf_counter() - start_time,
-                    )
-                    emitted += 1
-                    yield hit
-                    if max_results is not None and emitted >= max_results:
-                        self._finish(context, start_time)
-                        return
-                if len(reported) >= sequence_count:
-                    # Every database sequence already has its strongest
-                    # alignment reported; nothing left to find.
-                    break
-                continue
-
-            # VIABLE node: expand all children of the corresponding tree node.
-            self.statistics.nodes_expanded += 1
-            for child in self.cursor.children(node.tree_node):
-                arc = self.cursor.arc_symbols(child)
-                child_node = expand_arc(
-                    parent=node,
-                    tree_node=child,
-                    arc_symbols=arc,
-                    is_leaf=self.cursor.is_leaf(child),
-                    context=context,
-                )
-                if child_node.is_unviable:
-                    self.statistics.nodes_pruned += 1
-                    continue
-                counter += 1
-                self.statistics.nodes_enqueued += 1
-                heapq.heappush(queue, make_queue_entry(child_node, counter))
-
-        self._finish(context, start_time)
-
-    def _finish(self, context: ExpansionContext, start_time: float) -> None:
-        self.statistics.columns_expanded = context.columns_expanded
-        self.statistics.pruned_non_positive = context.pruned_non_positive
-        self.statistics.pruned_dominated = context.pruned_dominated
-        self.statistics.pruned_threshold = context.pruned_threshold
-        self.statistics.elapsed_seconds = time.perf_counter() - start_time
 
     # ------------------------------------------------------------------ #
     # Batch interface
@@ -252,36 +445,13 @@ class OasisSearch:
         statistics_model: Optional[KarlinAltschulParameters] = None,
     ) -> SearchResult:
         """Run the full search and collect the hits into a SearchResult."""
-        start_time = time.perf_counter()
-        online_log = OnlineResultLog()
-        hits: List[SearchHit] = []
-        for hit in self.run(
+        return self.execute(
             query,
-            min_score,
+            min_score=min_score,
             max_results=max_results,
             compute_alignments=compute_alignments,
             statistics_model=statistics_model,
-        ):
-            hits.append(hit)
-            online_log.record(hit.emitted_at if hit.emitted_at is not None else 0.0)
-        elapsed = time.perf_counter() - start_time
-
-        result = SearchResult(
-            query=query.upper(),
-            engine="oasis",
-            hits=hits,
-            elapsed_seconds=elapsed,
-            columns_expanded=self.statistics.columns_expanded,
-            parameters={
-                "min_score": min_score,
-                "matrix": self.matrix.name,
-                "gap": self.gap_model.per_symbol,
-                "max_results": max_results,
-            },
-        )
-        result.parameters["online_log"] = online_log
-        result.parameters["statistics"] = self.statistics.as_dict()
-        return result
+        ).result()
 
     # ------------------------------------------------------------------ #
     # Alignment reconstruction

@@ -101,6 +101,11 @@ class SearchResult:
     #: filtering-efficiency metric of Figure 4.
     columns_expanded: int = 0
     parameters: Dict[str, object] = field(default_factory=dict)
+    #: The statistics object of the execution that produced this result
+    #: (an :class:`~repro.core.oasis.OasisSearchStatistics` for OASIS; other
+    #: engines may leave it unset).  Attached per result so concurrent
+    #: executions never clobber each other's counters.
+    statistics: Optional[object] = None
 
     def __len__(self) -> int:
         return len(self.hits)

@@ -1,0 +1,389 @@
+"""BatchSearchExecutor: concurrent batch search over one shared index.
+
+The paper's premise is *online* search -- clients watch hits stream in and
+abort early -- and a production deployment serves many such clients at once
+over a single index.  This module supplies the serving layer: a thread-pool
+executor that fans a workload of queries out over the shared read-only
+suffix-tree cursor, yields ``(query, SearchResult)`` pairs as they complete,
+aggregates per-query statistics into a batch report, and supports per-query
+timeouts and early abort.
+
+Threads, not processes: the expansion inner loop is NumPy-bound and the index
+(potentially a disk-resident tree behind a buffer pool) must be shared, so
+thread-based fan-out is the only layout that avoids duplicating the index per
+worker.  Every query runs as its own self-contained
+:class:`~repro.core.oasis.QueryExecution`, so concurrent searches never touch
+each other's queues or statistics; cancellation and timeouts are cooperative
+(checked at every queue pop), which is what makes aborting a batch safe at
+any moment.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor, as_completed
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple
+
+from repro.core.oasis import OasisSearchStatistics
+from repro.core.results import SearchResult
+
+#: Default fan-out width; matches the paper-era "handful of concurrent
+#: clients" and keeps the GIL contention of CPU-bound phases modest.
+DEFAULT_WORKERS = 4
+
+#: Signature of the per-query callable the executor drives: it receives the
+#: query text, an optional wall-clock budget in seconds and an optional
+#: cancellation event, and returns the finished result.
+QueryRunner = Callable[[str, Optional[float], Optional[threading.Event]], SearchResult]
+
+
+@dataclass
+class BatchQueryOutcome:
+    """Everything the executor knows about one query of a batch."""
+
+    index: int
+    query: str
+    result: Optional[SearchResult] = None
+    exception: Optional[BaseException] = None
+    elapsed_seconds: float = 0.0
+    timed_out: bool = False
+    aborted: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.exception is None and self.result is not None
+
+    @property
+    def error(self) -> Optional[str]:
+        """Human-readable failure description (None when the query succeeded)."""
+        if self.exception is not None:
+            return f"{type(self.exception).__name__}: {self.exception}"
+        if self.result is None:
+            return "aborted before completion"
+        return None
+
+
+@dataclass
+class BatchStatistics:
+    """Aggregate counters over one batch run (sums of per-query statistics)."""
+
+    queries: int = 0
+    succeeded: int = 0
+    failed: int = 0
+    timed_out: int = 0
+    aborted: int = 0
+    total_hits: int = 0
+    columns_expanded: int = 0
+    nodes_expanded: int = 0
+    nodes_enqueued: int = 0
+    #: Sum of per-query elapsed times (the serial-equivalent work).
+    query_seconds: float = 0.0
+    #: Wall-clock time of the whole batch.
+    wall_seconds: float = 0.0
+    workers: int = 1
+
+    @property
+    def throughput(self) -> float:
+        """Completed queries per wall-clock second."""
+        return self.queries / self.wall_seconds if self.wall_seconds > 0 else 0.0
+
+    @property
+    def parallel_efficiency(self) -> float:
+        """``query_seconds / (wall_seconds * workers)`` -- 1.0 is perfect."""
+        denominator = self.wall_seconds * max(1, self.workers)
+        return self.query_seconds / denominator if denominator > 0 else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "queries": self.queries,
+            "succeeded": self.succeeded,
+            "failed": self.failed,
+            "timed_out": self.timed_out,
+            "aborted": self.aborted,
+            "total_hits": self.total_hits,
+            "columns_expanded": self.columns_expanded,
+            "nodes_expanded": self.nodes_expanded,
+            "nodes_enqueued": self.nodes_enqueued,
+            "query_seconds": self.query_seconds,
+            "wall_seconds": self.wall_seconds,
+            "workers": self.workers,
+            "throughput": self.throughput,
+            "parallel_efficiency": self.parallel_efficiency,
+        }
+
+
+@dataclass
+class BatchSearchReport:
+    """The full outcome of one batch: per-query outcomes plus aggregates.
+
+    ``outcomes`` are in *input order* regardless of completion order, so a
+    parallel run is directly comparable to the serial loop over the same
+    queries.
+    """
+
+    outcomes: List[BatchQueryOutcome] = field(default_factory=list)
+    statistics: BatchStatistics = field(default_factory=BatchStatistics)
+
+    def __len__(self) -> int:
+        return len(self.outcomes)
+
+    def __iter__(self) -> Iterator[Tuple[str, Optional[SearchResult]]]:
+        for outcome in self.outcomes:
+            yield outcome.query, outcome.result
+
+    def results(self) -> List[SearchResult]:
+        """Per-query results in input order (raises if any query failed)."""
+        self.raise_first_error()
+        return [outcome.result for outcome in self.outcomes]  # type: ignore[misc]
+
+    def result_for(self, query: str) -> Optional[SearchResult]:
+        for outcome in self.outcomes:
+            if outcome.query == query:
+                return outcome.result
+        return None
+
+    def failures(self) -> List[BatchQueryOutcome]:
+        return [outcome for outcome in self.outcomes if not outcome.ok]
+
+    def raise_first_error(self) -> None:
+        """Raise for the first query that produced no result.
+
+        Re-raises the query's own exception when there is one; a query
+        skipped by an abort has none, so it raises ``RuntimeError`` instead
+        (``results()`` must never hand back a list with ``None`` holes).
+        """
+        for outcome in self.outcomes:
+            if outcome.exception is not None:
+                raise outcome.exception
+            if outcome.result is None:
+                raise RuntimeError(
+                    f"query {outcome.query!r} {outcome.error or 'did not complete'}"
+                )
+
+    @classmethod
+    def build(
+        cls, outcomes: List[BatchQueryOutcome], wall_seconds: float, workers: int
+    ) -> "BatchSearchReport":
+        ordered = sorted(outcomes, key=lambda outcome: outcome.index)
+        statistics = BatchStatistics(wall_seconds=wall_seconds, workers=workers)
+        for outcome in ordered:
+            statistics.queries += 1
+            statistics.query_seconds += outcome.elapsed_seconds
+            if outcome.timed_out:
+                statistics.timed_out += 1
+            if outcome.aborted:
+                statistics.aborted += 1
+            if not outcome.ok:
+                statistics.failed += 1
+                continue
+            statistics.succeeded += 1
+            result = outcome.result
+            assert result is not None
+            statistics.total_hits += len(result)
+            statistics.columns_expanded += result.columns_expanded
+            per_query = result.statistics
+            if isinstance(per_query, OasisSearchStatistics):
+                statistics.nodes_expanded += per_query.nodes_expanded
+                statistics.nodes_enqueued += per_query.nodes_enqueued
+        return cls(outcomes=ordered, statistics=statistics)
+
+    def format_summary(self) -> str:
+        """One-paragraph human-readable summary (used by the CLI)."""
+        stats = self.statistics
+        parts = [
+            f"{stats.queries} queries in {stats.wall_seconds:.3f}s "
+            f"({stats.throughput:.2f} q/s, {stats.workers} workers)",
+            f"{stats.total_hits} hits, {stats.columns_expanded} DP columns expanded",
+        ]
+        if stats.timed_out:
+            parts.append(f"{stats.timed_out} timed out")
+        if stats.aborted:
+            parts.append(f"{stats.aborted} aborted")
+        if stats.failed:
+            parts.append(f"{stats.failed} failed")
+        return "; ".join(parts)
+
+
+class BatchSearchExecutor:
+    """Fan a batch of queries across a thread pool over one shared index.
+
+    Parameters
+    ----------
+    run_query:
+        ``(query, time_budget, cancel_event) -> SearchResult``.  The budget
+        and event implement per-query timeouts and batch-wide abort; runners
+        that cannot honour them may ignore them (they then stop only between
+        queries).  Use :meth:`for_engine` / :meth:`for_adapter` instead of
+        building this callable by hand.
+    workers:
+        Thread-pool width.
+    timeout:
+        Optional per-query wall-clock budget in seconds, passed to every
+        ``run_query`` call.
+    """
+
+    def __init__(
+        self,
+        run_query: QueryRunner,
+        workers: int = DEFAULT_WORKERS,
+        timeout: Optional[float] = None,
+    ):
+        if workers < 1:
+            raise ValueError("workers must be at least 1")
+        if timeout is not None and timeout <= 0:
+            raise ValueError("timeout must be positive")
+        self._run_query = run_query
+        self.workers = int(workers)
+        self.timeout = timeout
+        self._cancel = threading.Event()
+        self._aborted = False
+
+    # ------------------------------------------------------------------ #
+    # Factories
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def for_engine(
+        cls,
+        engine,
+        workers: int = DEFAULT_WORKERS,
+        timeout: Optional[float] = None,
+        **search_kwargs,
+    ) -> "BatchSearchExecutor":
+        """Executor over an :class:`~repro.core.engine.OasisEngine`.
+
+        ``search_kwargs`` are forwarded to ``engine.execute`` (one of
+        ``min_score`` / ``evalue``, plus ``max_results`` etc.).
+        """
+
+        def run_query(
+            query: str,
+            time_budget: Optional[float],
+            cancel_event: Optional[threading.Event],
+        ) -> SearchResult:
+            return engine.execute(
+                query,
+                time_budget=time_budget,
+                cancel_event=cancel_event,
+                **search_kwargs,
+            ).result()
+
+        return cls(run_query, workers=workers, timeout=timeout)
+
+    @classmethod
+    def for_adapter(
+        cls,
+        adapter,
+        workers: int = DEFAULT_WORKERS,
+        timeout: Optional[float] = None,
+    ) -> "BatchSearchExecutor":
+        """Executor over a workload :class:`~repro.workloads.engines.EngineAdapter`."""
+
+        def run_query(
+            query: str,
+            time_budget: Optional[float],
+            cancel_event: Optional[threading.Event],
+        ) -> SearchResult:
+            return adapter.run_with_budget(
+                query, time_budget=time_budget, cancel_event=cancel_event
+            )
+
+        return cls(run_query, workers=workers, timeout=timeout)
+
+    # ------------------------------------------------------------------ #
+    # Running
+    # ------------------------------------------------------------------ #
+    def abort(self) -> None:
+        """Stop all batch work: pending queries are skipped, in-flight ones
+        stop cooperatively at their next queue pop.
+
+        Aborting is terminal for the executor -- it also covers runs that
+        have not started yet, so an abort racing a ``run()`` call cannot be
+        lost.  (Abandoning a :meth:`map` stream, by contrast, only cancels
+        that run.)
+        """
+        self._aborted = True
+        self._cancel.set()
+
+    def map(self, queries: Iterable[str]) -> Iterator[Tuple[str, SearchResult]]:
+        """Yield ``(query, SearchResult)`` pairs as they complete.
+
+        Completion order, not input order.  Abandoning the iterator aborts
+        the rest of the batch (pending queries are cancelled, running ones
+        stop cooperatively).  Per-query exceptions are re-raised; use
+        :meth:`run` for a fault-tolerant collected report.
+        """
+        for outcome in self.run_iter(queries):
+            if outcome.exception is not None:
+                raise outcome.exception
+            if outcome.result is not None:
+                yield outcome.query, outcome.result
+
+    def run_iter(self, queries: Iterable[str]) -> Iterator[BatchQueryOutcome]:
+        """Yield one :class:`BatchQueryOutcome` per query, in completion order."""
+        query_list = [str(query) for query in queries]
+        if not self._aborted:
+            # Fresh cancellation scope per run, so a previous run abandoned
+            # mid-stream does not poison the next one.
+            self._cancel = threading.Event()
+        with ThreadPoolExecutor(
+            max_workers=self.workers, thread_name_prefix="oasis-batch"
+        ) as pool:
+            futures = [
+                pool.submit(self._execute_one, index, query)
+                for index, query in enumerate(query_list)
+            ]
+            try:
+                for future in as_completed(futures):
+                    yield future.result()
+            finally:
+                pending = [future for future in futures if not future.done()]
+                if pending:
+                    # The consumer abandoned the stream (or raised): abort the
+                    # remaining work before the pool shutdown blocks on it.
+                    self._cancel.set()
+                    for future in pending:
+                        future.cancel()
+
+    def run(self, queries: Iterable[str]) -> BatchSearchReport:
+        """Run the whole batch and collect a report (input-order outcomes).
+
+        Per-query failures are captured in the outcomes rather than raised,
+        so one bad query cannot take down a batch; call
+        ``report.raise_first_error()`` (or ``report.results()``) to surface
+        them.
+        """
+        start = time.perf_counter()
+        outcomes = list(self.run_iter(queries))
+        wall_seconds = time.perf_counter() - start
+        return BatchSearchReport.build(outcomes, wall_seconds=wall_seconds, workers=self.workers)
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def _execute_one(self, index: int, query: str) -> BatchQueryOutcome:
+        if self._aborted or self._cancel.is_set():
+            return BatchQueryOutcome(index=index, query=query, aborted=True)
+        start = time.perf_counter()
+        try:
+            result = self._run_query(query, self.timeout, self._cancel)
+        except Exception as error:  # noqa: BLE001 - captured per query
+            return BatchQueryOutcome(
+                index=index,
+                query=query,
+                exception=error,
+                elapsed_seconds=time.perf_counter() - start,
+            )
+        return BatchQueryOutcome(
+            index=index,
+            query=query,
+            result=result,
+            elapsed_seconds=time.perf_counter() - start,
+            timed_out=bool(result.parameters.get("timed_out", False)),
+            aborted=bool(result.parameters.get("aborted", False)),
+        )
+
+    def __repr__(self) -> str:
+        timeout = f", timeout={self.timeout}" if self.timeout is not None else ""
+        return f"BatchSearchExecutor(workers={self.workers}{timeout})"

@@ -18,6 +18,7 @@ module reproduces that component:
 from __future__ import annotations
 
 import enum
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
@@ -141,25 +142,38 @@ class BufferPool:
         self._page_table: Dict[Tuple[Region, int], int] = {}
         self._clock_hand = 0
         self.statistics = BufferPoolStatistics()
+        # The pool is shared by every concurrent query execution: the table
+        # and frame metadata are guarded by one lock, while the physical read
+        # (and in particular the simulated miss latency) happens *outside* it
+        # so that concurrent misses overlap the way real disk reads would.
+        self._lock = threading.RLock()
+        self._io_lock = threading.Lock()
 
     # ------------------------------------------------------------------ #
     # Page access
     # ------------------------------------------------------------------ #
     def get_page(self, region: Region, block_in_region: int) -> bytes:
-        """Return one page of ``region``, reading it on a miss."""
+        """Return one page of ``region``, reading it on a miss (thread-safe)."""
         key = (region, block_in_region)
-        frame_index = self._page_table.get(key)
-        if frame_index is not None:
-            frame = self._frames[frame_index]
-            frame.referenced = True
-            self.statistics.hits += 1
-            self.statistics.per_region_hits[region] += 1
-            return frame.data
+        with self._lock:
+            frame_index = self._page_table.get(key)
+            if frame_index is not None:
+                frame = self._frames[frame_index]
+                frame.referenced = True
+                self.statistics.hits += 1
+                self.statistics.per_region_hits[region] += 1
+                return frame.data
+            self.statistics.misses += 1
+            self.statistics.per_region_misses[region] += 1
+            if self.simulated_miss_latency:
+                self.statistics.simulated_io_seconds += self.simulated_miss_latency
 
-        self.statistics.misses += 1
-        self.statistics.per_region_misses[region] += 1
+        # Two threads missing the same page may both read it; the second
+        # install is a harmless refresh.  Keeping the read outside the pool
+        # lock is what lets a thread pool overlap its miss stalls.
         data = self._read_physical(region, block_in_region)
-        self._install(key, data)
+        with self._lock:
+            self._install(key, data)
         return data
 
     def read_bytes(self, region: Region, byte_offset: int, length: int) -> bytes:
@@ -179,15 +193,26 @@ class BufferPool:
     # Internals
     # ------------------------------------------------------------------ #
     def _read_physical(self, region: Region, block_in_region: int) -> bytes:
-        if self.simulated_miss_latency:
-            self.statistics.simulated_io_seconds += self.simulated_miss_latency
-            if self.sleep_on_miss:
-                time.sleep(self.simulated_miss_latency)
+        if self.simulated_miss_latency and self.sleep_on_miss:
+            # Sleeping releases the GIL, so concurrent misses stall in
+            # parallel -- the behaviour a real multi-client disk system shows.
+            time.sleep(self.simulated_miss_latency)
         absolute_block = self._region_offsets[region] + block_in_region
-        return self._file.read_block(absolute_block)
+        with self._io_lock:
+            return self._file.read_block(absolute_block)
 
     def _install(self, key: Tuple[Region, int], data: bytes) -> None:
-        """Place a page in a frame chosen by the clock algorithm."""
+        """Place a page in a frame chosen by the clock algorithm.
+
+        Callers hold ``self._lock``.  A page already installed by a racing
+        reader is refreshed in place instead of being duplicated.
+        """
+        existing = self._page_table.get(key)
+        if existing is not None:
+            frame = self._frames[existing]
+            frame.data = data
+            frame.referenced = True
+            return
         while True:
             frame = self._frames[self._clock_hand]
             if frame.key is None:
@@ -221,15 +246,17 @@ class BufferPool:
 
     def clear(self) -> None:
         """Drop every cached page (statistics are left untouched)."""
-        for frame in self._frames:
-            frame.key = None
-            frame.data = b""
-            frame.referenced = False
-        self._page_table.clear()
-        self._clock_hand = 0
+        with self._lock:
+            for frame in self._frames:
+                frame.key = None
+                frame.data = b""
+                frame.referenced = False
+            self._page_table.clear()
+            self._clock_hand = 0
 
     def reset_statistics(self) -> None:
-        self.statistics.reset()
+        with self._lock:
+            self.statistics.reset()
 
     def __repr__(self) -> str:
         return (

@@ -1,0 +1,84 @@
+"""Shared constants and helpers for the test-suite and the benchmarks.
+
+Historically these lived in ``tests/conftest.py`` and ``benchmarks/conftest.py``
+and were pulled in with ``from conftest import ...`` -- which breaks as soon
+as pytest collects both directories in one run, because whichever ``conftest``
+module is imported first shadows the other.  Putting them in a real,
+importable module removes the ambiguity: fixtures stay in the conftests,
+plain helpers live here.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import TYPE_CHECKING
+
+from repro.scoring.matrix import SubstitutionMatrix
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.experiments.common import ExperimentConfig
+
+#: The sequence used throughout Section 2/3 of the paper.
+PAPER_TARGET = "AGTACGCCTAG"
+#: The query of the paper's worked example (Table 2, Section 3.3).
+PAPER_QUERY = "TACG"
+
+AMINO_ACIDS = "ARNDCQEGHILKMFPSTWYV"
+BASES = "ACGT"
+
+#: Default number of workload queries used by the per-figure benchmarks.
+DEFAULT_BENCH_QUERIES = 24
+
+
+def random_protein(rng: random.Random, length: int) -> str:
+    return "".join(rng.choice(AMINO_ACIDS) for _ in range(length))
+
+
+def random_dna(rng: random.Random, length: int) -> str:
+    return "".join(rng.choice(BASES) for _ in range(length))
+
+
+def brute_force_local_score(
+    query: str, target: str, matrix: SubstitutionMatrix, gap_penalty: int
+) -> int:
+    """Reference Smith-Waterman score, written as differently as possible from
+    the library implementations (plain Python lists, no NumPy)."""
+    m, n = len(query), len(target)
+    previous = [0] * (n + 1)
+    best = 0
+    for i in range(1, m + 1):
+        current = [0] * (n + 1)
+        for j in range(1, n + 1):
+            score = max(
+                0,
+                previous[j - 1] + matrix.score(query[i - 1], target[j - 1]),
+                previous[j] + gap_penalty,
+                current[j - 1] + gap_penalty,
+            )
+            current[j] = score
+            if score > best:
+                best = score
+        previous = current
+    return best
+
+
+def bench_config(**overrides) -> "ExperimentConfig":
+    """The experiment configuration the benchmarks run with.
+
+    Uses the scale selected by ``OASIS_BENCH_SCALE`` (default ``small``) with
+    the workload capped by ``OASIS_BENCH_QUERIES`` (default 24) so the full
+    benchmark suite finishes in a few minutes; raise either knob for sharper
+    curves.
+    """
+    import os
+
+    from repro.experiments.common import default_config
+
+    query_count = int(os.environ.get("OASIS_BENCH_QUERIES", str(DEFAULT_BENCH_QUERIES)))
+    return default_config(query_count=query_count, **overrides)
+
+
+def emit(result) -> None:
+    """Print an experiment's table (shown with ``-s``; kept out of captures)."""
+    print()
+    print(result.format_table())

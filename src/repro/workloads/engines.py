@@ -10,6 +10,7 @@ through the shared :class:`~repro.core.evalue.SelectivityConverter`.
 
 from __future__ import annotations
 
+import threading
 from abc import ABC, abstractmethod
 from typing import Optional
 
@@ -32,6 +33,21 @@ class EngineAdapter(ABC):
     @abstractmethod
     def run(self, query: str) -> SearchResult:
         """Execute one query and return its result."""
+
+    def run_with_budget(
+        self,
+        query: str,
+        time_budget: Optional[float] = None,
+        cancel_event: Optional[threading.Event] = None,
+    ) -> SearchResult:
+        """Execute one query under an optional cooperative time budget.
+
+        The default implementation ignores the budget and cancellation event
+        (baseline engines run each query to completion and can only stop
+        *between* queries); adapters over cooperative engines override this
+        to stop mid-query.  The batch executor always calls this entry point.
+        """
+        return self.run(query)
 
     def describe(self) -> str:
         """One-line description for experiment reports."""
@@ -58,12 +74,24 @@ class OasisAdapter(EngineAdapter):
         self.name = name
 
     def run(self, query: str) -> SearchResult:
-        return self.engine.search(
+        return self.run_with_budget(query)
+
+    def run_with_budget(
+        self,
+        query: str,
+        time_budget: Optional[float] = None,
+        cancel_event: Optional[threading.Event] = None,
+    ) -> SearchResult:
+        # OASIS is the online engine: each query runs as its own reentrant
+        # execution, so budgets and batch-wide cancellation stop it mid-query.
+        return self.engine.execute(
             query,
             evalue=self.evalue,
             min_score=self.min_score,
             max_results=self.max_results,
-        )
+            time_budget=time_budget,
+            cancel_event=cancel_event,
+        ).result()
 
     def describe(self) -> str:
         threshold = f"E={self.evalue}" if self.evalue is not None else f"minScore={self.min_score}"

@@ -18,46 +18,13 @@ from repro.scoring.matrix import SubstitutionMatrix
 from repro.sequences.alphabet import DNA_ALPHABET, PROTEIN_ALPHABET
 from repro.sequences.database import SequenceDatabase
 from repro.suffixtree.generalized import GeneralizedSuffixTree
-
-#: The sequence used throughout Section 2/3 of the paper.
-PAPER_TARGET = "AGTACGCCTAG"
-#: The query of the paper's worked example (Table 2, Section 3.3).
-PAPER_QUERY = "TACG"
-
-AMINO_ACIDS = "ARNDCQEGHILKMFPSTWYV"
-BASES = "ACGT"
-
-
-def random_protein(rng: random.Random, length: int) -> str:
-    return "".join(rng.choice(AMINO_ACIDS) for _ in range(length))
-
-
-def random_dna(rng: random.Random, length: int) -> str:
-    return "".join(rng.choice(BASES) for _ in range(length))
-
-
-def brute_force_local_score(
-    query: str, target: str, matrix: SubstitutionMatrix, gap_penalty: int
-) -> int:
-    """Reference Smith-Waterman score, written as differently as possible from
-    the library implementations (plain Python lists, no NumPy)."""
-    m, n = len(query), len(target)
-    previous = [0] * (n + 1)
-    best = 0
-    for i in range(1, m + 1):
-        current = [0] * (n + 1)
-        for j in range(1, n + 1):
-            score = max(
-                0,
-                previous[j - 1] + matrix.score(query[i - 1], target[j - 1]),
-                previous[j] + gap_penalty,
-                current[j - 1] + gap_penalty,
-            )
-            current[j] = score
-            if score > best:
-                best = score
-        previous = current
-    return best
+from repro.testing import (
+    AMINO_ACIDS,
+    PAPER_TARGET,
+    brute_force_local_score,
+    random_dna,
+    random_protein,
+)
 
 
 @pytest.fixture(scope="session")

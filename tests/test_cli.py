@@ -69,6 +69,97 @@ class TestSearch:
         with pytest.raises(SystemExit):
             main(["search", "--database", str(fasta), "--query", "MKV", "--matrix", "PAM999"])
 
+    def test_requires_query_or_queries(self, generated_files):
+        fasta, _ = generated_files
+        with pytest.raises(SystemExit):
+            main(["search", "--database", str(fasta), "--min-score", "20"])
+
+
+class TestBatchSearch:
+    def test_batch_search_through_executor(self, generated_files, capsys):
+        fasta, queries = generated_files
+        code = main(
+            [
+                "search",
+                "--database",
+                str(fasta),
+                "--queries",
+                str(queries),
+                "--workers",
+                "2",
+                "--min-score",
+                "15",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "5 queries" in output
+        assert "2 workers" in output
+
+    def test_batch_and_serial_agree(self, generated_files, capsys):
+        fasta, queries = generated_files
+        main(["search", "--database", str(fasta), "--queries", str(queries), "--min-score", "15"])
+        serial = capsys.readouterr().out.splitlines()
+        main(
+            [
+                "search",
+                "--database",
+                str(fasta),
+                "--queries",
+                str(queries),
+                "--workers",
+                "4",
+                "--min-score",
+                "15",
+            ]
+        )
+        parallel = capsys.readouterr().out.splitlines()
+        # Per-query rows: query, hit count and best score must be identical;
+        # only the timing columns and the summary line may differ.
+        assert [line.split()[:3] for line in serial[1:6]] == [
+            line.split()[:3] for line in parallel[1:6]
+        ]
+
+    def test_empty_query_file_rejected(self, tmp_path, generated_files):
+        fasta, _ = generated_files
+        empty = tmp_path / "empty.txt"
+        empty.write_text("\n\n")
+        with pytest.raises(SystemExit):
+            main(["search", "--database", str(fasta), "--queries", str(empty)])
+
+    def test_bad_query_reported_per_row_not_fatal(self, tmp_path, generated_files, capsys):
+        fasta, queries = generated_files
+        mixed = tmp_path / "mixed.txt"
+        good = queries.read_text().splitlines()[0]
+        mixed.write_text(f"{good}\nBAD1QUERY\n")
+        code = main(
+            ["search", "--database", str(fasta), "--queries", str(mixed), "--min-score", "15"]
+        )
+        assert code == 1
+        output = capsys.readouterr().out
+        assert "error: AlphabetError" in output
+        assert "1 failed" in output
+
+    def test_single_query_timeout_is_surfaced(self, generated_files, capsys):
+        fasta, queries = generated_files
+        query = queries.read_text().splitlines()[0]
+        code = main(
+            [
+                "search",
+                "--database",
+                str(fasta),
+                "--query",
+                query,
+                "--min-score",
+                "15",
+                "--timeout",
+                "0.0000001",
+            ]
+        )
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "time budget" in output
+
 
 class TestExperimentCommand:
     def test_runs_space_experiment(self, capsys):

@@ -10,7 +10,7 @@ from repro.suffixtree.generalized import GeneralizedSuffixTree
 from repro.suffixtree.nodes import iter_leaves
 from repro.suffixtree.partitioned import PartitionedTreeBuilder
 
-from conftest import random_dna, random_protein
+from repro.testing import random_dna, random_protein
 
 
 def tree_shape(tree):

@@ -21,7 +21,7 @@ from repro.sequences.database import SequenceDatabase
 from repro.suffixtree.generalized import GeneralizedSuffixTree
 from repro.suffixtree.suffix_array import build_lcp_array, build_suffix_array
 
-from conftest import brute_force_local_score
+from repro.testing import brute_force_local_score
 
 # Text strategies over the two alphabets (real symbols only).
 dna_text = st.text(alphabet="ACGT", min_size=1, max_size=40)

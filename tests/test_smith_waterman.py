@@ -11,7 +11,7 @@ from repro.scoring.gaps import AffineGapModel, FixedGapModel
 from repro.sequences.alphabet import DNA_ALPHABET, PROTEIN_ALPHABET
 from repro.sequences.database import SequenceDatabase
 
-from conftest import PAPER_QUERY, PAPER_TARGET, random_protein
+from repro.testing import PAPER_QUERY, PAPER_TARGET, random_protein
 
 
 class TestPaperExample:

@@ -18,7 +18,7 @@ from repro.storage.layout import (
 )
 from repro.suffixtree.generalized import GeneralizedSuffixTree
 
-from conftest import PAPER_TARGET, random_dna
+from repro.testing import PAPER_TARGET, random_dna
 
 
 class TestRecords:

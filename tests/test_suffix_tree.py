@@ -10,7 +10,7 @@ from repro.suffixtree.construction import rightmost_path, validate_tree
 from repro.suffixtree.generalized import GeneralizedSuffixTree
 from repro.suffixtree.nodes import InternalNode, LeafNode, count_nodes, iter_leaves
 
-from conftest import PAPER_TARGET, random_dna
+from repro.testing import PAPER_TARGET, random_dna
 
 
 def brute_force_occurrences(texts, query):

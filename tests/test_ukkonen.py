@@ -10,7 +10,7 @@ from repro.suffixtree.generalized import GeneralizedSuffixTree
 from repro.suffixtree.suffix_array import build_suffix_array
 from repro.suffixtree.ukkonen import UkkonenSuffixTree
 
-from conftest import PAPER_TARGET, random_dna
+from repro.testing import PAPER_TARGET, random_dna
 
 
 def encode(text):
