@@ -118,7 +118,7 @@ def run(config, tmp_dir) -> BatchComparisonResult:
 
 
 def test_bench_batch_throughput(benchmark, config, tmp_path):
-    from repro.testing import emit
+    from repro.testing import emit, smoke_mode
 
     result = benchmark.pedantic(
         run, args=(config, str(tmp_path)), iterations=1, rounds=1
@@ -128,6 +128,8 @@ def test_bench_batch_throughput(benchmark, config, tmp_path):
     for row in result.rows:
         assert row.identical, f"{row.index}: parallel hits differ from the serial loop"
 
+    if smoke_mode():
+        return
     # The disk-bound configuration is where fan-out pays: 4 workers overlap
     # each other's miss stalls over the shared buffer pool.
     disk_row = result.row("disk")

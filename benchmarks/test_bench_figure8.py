@@ -6,7 +6,7 @@ the pool shrinks, while symbol and leaf accesses, which are random by nature,
 degrade first.
 """
 
-from repro.testing import emit
+from repro.testing import emit, smoke_mode
 
 from repro.experiments import figure8
 
@@ -30,5 +30,7 @@ def test_bench_figure8(benchmark, config):
     assert all(0.0 <= value <= 1.0 for value in overall)
     assert overall[0] <= overall[-1] + 1e-9
     # The paper's headline: internal nodes are the most resilient component
-    # when the pool is small.
-    assert result.internal_nodes_most_resilient()
+    # when the pool is small.  Only meaningful at realistic scale: the tiny
+    # smoke tree fits (almost) entirely in every pool.
+    if not smoke_mode():
+        assert result.internal_nodes_most_resilient()

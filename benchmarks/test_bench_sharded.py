@@ -1,0 +1,186 @@
+"""Benchmark: sharded scatter-gather search vs the monolithic index.
+
+The production claim behind `repro.sharding`: splitting one disk-resident
+index into N independently managed shards lets a batch of queries use N
+buffer pools and N cursors at once, overlapping each other's I/O stalls --
+while returning exactly the hits of the monolithic index.  The comparison
+runs the standard workload serially over one disk image (the baseline every
+figure of the paper reports), then over persistent 1/2/4-shard indexes with
+4 workers through the batch executor.
+
+Every configuration gets the same total buffer-pool budget and the same
+simulated, actually-slept per-block miss latency (the Figures 7-8 regime).
+
+Asserts that every sharded run reproduces the monolithic hits byte for byte,
+and (outside smoke mode) that 4 shards with 4 workers reach at least 1.5x
+the monolithic serial throughput.
+"""
+
+from __future__ import annotations
+
+import glob
+import os
+import time
+from dataclasses import dataclass, field
+from typing import List
+
+from repro.core.engine import OasisEngine
+from repro.experiments.common import build_protein_dataset
+from repro.sharding import ShardedEngine, ShardedIndexBuilder
+from repro.storage.builder import build_disk_image
+from repro.storage.disk_tree import DiskSuffixTree
+from repro.testing import smoke_mode
+
+WORKERS = 4
+SHARD_COUNTS = (1, 2, 4)
+#: Same steady-state-misses sizing as the batch benchmark: every
+#: configuration gets a quarter of its index bytes as buffer pool.
+POOL_FRACTION = 0.25
+#: Simulated seek charged (and actually slept) per physical block read.
+MISS_LATENCY = 1e-4
+
+
+def hit_signature(result):
+    return [
+        (hit.sequence_index, hit.sequence_identifier, hit.score, hit.evalue)
+        for hit in result
+    ]
+
+
+@dataclass
+class ShardedComparisonRow:
+    configuration: str
+    wall_seconds: float
+    throughput: float
+    speedup: float
+    identical: bool
+
+
+@dataclass
+class ShardedComparisonResult:
+    rows: List[ShardedComparisonRow] = field(default_factory=list)
+    queries: int = 0
+    workers: int = WORKERS
+
+    def row(self, configuration: str) -> ShardedComparisonRow:
+        return next(row for row in self.rows if row.configuration == configuration)
+
+    def format_table(self) -> str:
+        lines = [
+            f"sharded search: {self.queries} queries, {self.workers} workers",
+            f"{'configuration':16s} {'wall s':>8s} {'q/s':>8s} {'speedup':>8s} {'identical':>10s}",
+        ]
+        for row in self.rows:
+            lines.append(
+                f"{row.configuration:16s} {row.wall_seconds:8.2f} {row.throughput:8.2f} "
+                f"{row.speedup:8.2f} {str(row.identical):>10s}"
+            )
+        return "\n".join(lines)
+
+
+def run(config, tmp_dir) -> ShardedComparisonResult:
+    dataset = build_protein_dataset(config)
+    queries = [query.text for query in dataset.workload]
+    evalue = config.effective_evalue(dataset.database_symbols)
+    result = ShardedComparisonResult(queries=len(queries))
+
+    # ------------------------------------------------------------------ #
+    # Monolithic serial baseline over one disk image.
+    # ------------------------------------------------------------------ #
+    image_path = os.path.join(tmp_dir, "monolithic.oasis")
+    build_disk_image(dataset.engine.cursor, image_path, block_size=config.block_size)
+    pool_bytes = max(config.block_size, int(os.path.getsize(image_path) * POOL_FRACTION))
+    disk = DiskSuffixTree(
+        image_path,
+        dataset.database,
+        buffer_pool_bytes=pool_bytes,
+        simulated_miss_latency=MISS_LATENCY,
+        sleep_on_miss=True,
+    )
+    try:
+        monolithic = OasisEngine(
+            disk, dataset.matrix, dataset.gap_model, converter=dataset.converter
+        )
+        start = time.perf_counter()
+        baseline = [monolithic.search(query, evalue=evalue) for query in queries]
+        serial_seconds = time.perf_counter() - start
+    finally:
+        disk.close()
+    baseline_signatures = [hit_signature(r) for r in baseline]
+    result.rows.append(
+        ShardedComparisonRow(
+            configuration="monolithic x1",
+            wall_seconds=serial_seconds,
+            throughput=len(queries) / serial_seconds if serial_seconds else 0.0,
+            speedup=1.0,
+            identical=True,
+        )
+    )
+
+    # ------------------------------------------------------------------ #
+    # Persistent sharded indexes, batch-searched with the executor.
+    # ------------------------------------------------------------------ #
+    for shard_count in SHARD_COUNTS:
+        directory = os.path.join(tmp_dir, f"sharded-{shard_count}")
+        ShardedIndexBuilder(
+            dataset.matrix,
+            dataset.gap_model,
+            shard_count=shard_count,
+            block_size=config.block_size,
+        ).build(dataset.database, directory)
+        total_image_bytes = sum(
+            os.path.getsize(path)
+            for path in glob.glob(os.path.join(directory, "*.oasis"))
+        )
+        with ShardedEngine.open(
+            directory,
+            database=dataset.database,
+            matrix=dataset.matrix,
+            gap_model=dataset.gap_model,
+            buffer_pool_bytes=max(
+                shard_count * config.block_size,
+                int(total_image_bytes * POOL_FRACTION),
+            ),
+            simulated_miss_latency=MISS_LATENCY,
+            sleep_on_miss=True,
+        ) as sharded:
+            report = sharded.search_many(queries, workers=WORKERS, evalue=evalue)
+            parallel = report.results()
+        identical = [hit_signature(r) for r in parallel] == baseline_signatures
+        wall = report.statistics.wall_seconds
+        result.rows.append(
+            ShardedComparisonRow(
+                configuration=f"sharded x{shard_count}",
+                wall_seconds=wall,
+                throughput=report.statistics.throughput,
+                speedup=serial_seconds / wall if wall else 0.0,
+                identical=identical,
+            )
+        )
+    return result
+
+
+def test_bench_sharded_throughput(benchmark, config, tmp_path):
+    from repro.testing import emit
+
+    result = benchmark.pedantic(
+        run, args=(config, str(tmp_path)), iterations=1, rounds=1
+    )
+    emit(result)
+
+    # Parity is the contract and holds at any scale, smoke mode included.
+    for row in result.rows:
+        assert row.identical, (
+            f"{row.configuration}: sharded hits differ from the monolithic index"
+        )
+
+    if smoke_mode():
+        return
+    # 4 shards x 4 workers overlap their miss stalls across 4 buffer pools;
+    # the acceptance floor mirrors the batch benchmark's.
+    best = result.row(f"sharded x{max(SHARD_COUNTS)}")
+    assert best.speedup >= 1.5, (
+        f"expected >=1.5x throughput from {max(SHARD_COUNTS)} shards / "
+        f"{WORKERS} workers over the monolithic serial baseline, "
+        f"measured {best.speedup:.2f}x"
+    )

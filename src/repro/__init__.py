@@ -27,8 +27,9 @@ from repro.core.results import Alignment, SearchHit, SearchResult
 from repro.parallel import BatchSearchExecutor, BatchSearchReport
 from repro.sequences.database import SequenceDatabase
 from repro.sequences.sequence import Sequence, SequenceRecord
+from repro.sharding import ShardCatalog, ShardedEngine, ShardedIndexBuilder
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "OasisEngine",
@@ -42,5 +43,8 @@ __all__ = [
     "SequenceDatabase",
     "Sequence",
     "SequenceRecord",
+    "ShardCatalog",
+    "ShardedEngine",
+    "ShardedIndexBuilder",
     "__version__",
 ]

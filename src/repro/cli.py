@@ -10,6 +10,13 @@ Sub-commands
     decreasing score order.  ``--query`` searches one sequence; ``--queries``
     runs a whole file of them, fanned out over ``--workers`` threads through
     the concurrent batch executor (optionally with a per-query ``--timeout``).
+    ``--shards N`` splits the database into N independently indexed shards
+    searched scatter-gather; ``--index DIR`` reuses a persistent sharded
+    index built earlier instead of rebuilding anything.
+``index``
+    Manage persistent sharded indexes: ``index build`` writes one disk image
+    per shard plus a self-describing catalog, ``index info`` prints a
+    catalog's layout.
 ``experiment``
     Run one of the paper's experiments (figure3 .. figure9, space) and print
     its table.
@@ -21,6 +28,9 @@ Examples
     repro-oasis generate --output proteins.fasta --queries workload.txt --seed 7
     repro-oasis search --database proteins.fasta --query MKVLAADTGLAV --evalue 20
     repro-oasis search --database proteins.fasta --queries workload.txt --workers 4
+    repro-oasis index build --database proteins.fasta --output proteins.index --shards 4
+    repro-oasis index info proteins.index
+    repro-oasis search --index proteins.index --queries workload.txt --workers 4
     repro-oasis experiment figure4 --scale tiny
 """
 
@@ -36,6 +46,9 @@ from repro.datagen.protein import SwissProtLikeGenerator
 from repro.scoring.data import available_matrices, load_matrix
 from repro.scoring.gaps import FixedGapModel
 from repro.sequences.fasta import read_fasta, write_fasta
+
+DEFAULT_MATRIX = "PAM30"
+DEFAULT_GAP = -8
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -54,14 +67,26 @@ def _build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--seed", type=int, default=0)
 
     search = subparsers.add_parser("search", help="search a FASTA database with OASIS")
-    search.add_argument("--database", required=True, help="FASTA file with the target sequences")
+    search.add_argument("--database", help="FASTA file with the target sequences")
+    search.add_argument(
+        "--index",
+        help="persistent sharded index directory (from `index build`); "
+        "replaces --database and skips all index construction",
+    )
     queries = search.add_mutually_exclusive_group(required=True)
     queries.add_argument("--query", help="query sequence text")
     queries.add_argument("--queries", help="file with one query sequence per line (batch mode)")
     search.add_argument(
-        "--matrix", default="PAM30", choices=available_matrices(), help="substitution matrix"
+        "--matrix", default=None, choices=available_matrices(), help="substitution matrix"
     )
-    search.add_argument("--gap", type=int, default=-8, help="fixed gap penalty (negative)")
+    search.add_argument("--gap", type=int, default=None, help="fixed gap penalty (negative)")
+    search.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        help="split the database into this many shards searched scatter-gather "
+        "(with --index: must match the catalog)",
+    )
     selectivity = search.add_mutually_exclusive_group()
     selectivity.add_argument("--evalue", type=float, help="E-value cutoff (Equation 3)")
     selectivity.add_argument("--min-score", type=int, help="raw minimum alignment score")
@@ -77,6 +102,37 @@ def _build_parser() -> argparse.ArgumentParser:
         type=float,
         help="per-query wall-clock budget in seconds (partial results are kept)",
     )
+
+    index = subparsers.add_parser("index", help="manage persistent sharded indexes")
+    index_commands = index.add_subparsers(dest="index_command", required=True)
+
+    index_build = index_commands.add_parser(
+        "build", help="build a persistent sharded index directory"
+    )
+    index_build.add_argument("--database", required=True, help="FASTA file to index")
+    index_build.add_argument("--output", required=True, help="index directory to create")
+    index_build.add_argument("--shards", type=int, default=1, help="number of shards")
+    index_build.add_argument(
+        "--by",
+        default="residues",
+        choices=("residues", "sequences"),
+        help="shard balancing criterion",
+    )
+    index_build.add_argument(
+        "--matrix",
+        default=DEFAULT_MATRIX,
+        choices=available_matrices(),
+        help="substitution matrix the index will be served with",
+    )
+    index_build.add_argument(
+        "--gap", type=int, default=DEFAULT_GAP, help="fixed gap penalty (negative)"
+    )
+    index_build.add_argument(
+        "--block-size", type=int, default=2048, help="disk-image block size in bytes"
+    )
+
+    index_info = index_commands.add_parser("info", help="describe a sharded index")
+    index_info.add_argument("directory", help="index directory (with catalog.json)")
 
     experiment = subparsers.add_parser("experiment", help="run one of the paper's experiments")
     experiment.add_argument(
@@ -145,26 +201,74 @@ def _print_single_result(result) -> None:
         print("warning: time budget exhausted -- the hit list is partial")
 
 
-def _command_search(args: argparse.Namespace) -> int:
+def _build_search_engine(args: argparse.Namespace):
+    """Resolve --index / --shards / --database into a ready-to-search engine."""
+    from repro.sharding import CatalogError, ShardedEngine
+
+    if args.index is not None:
+        # A persistent catalog is authoritative for its own configuration:
+        # only an *explicit* --matrix/--gap is checked against it, and the
+        # bundled FASTA replaces --database unless one is supplied.
+        matrix = load_matrix(args.matrix) if args.matrix is not None else None
+        gap_model = FixedGapModel(args.gap) if args.gap is not None else None
+        database = read_fasta(args.database) if args.database is not None else None
+        try:
+            engine = ShardedEngine.open(
+                args.index, database=database, matrix=matrix, gap_model=gap_model
+            )
+        except CatalogError as error:
+            raise SystemExit(str(error))
+        if args.shards is not None and args.shards != engine.shard_count:
+            engine.close()
+            raise SystemExit(
+                f"--shards {args.shards} conflicts with the catalog "
+                f"({engine.shard_count} shards); the persisted layout cannot "
+                "be changed at search time -- rebuild with `index build`"
+            )
+        return engine
+
+    if args.database is None:
+        raise SystemExit("either --database or --index is required")
     database = read_fasta(args.database)
-    matrix = load_matrix(args.matrix)
-    engine = OasisEngine.build(database, matrix=matrix, gap_model=FixedGapModel(args.gap))
+    matrix = load_matrix(args.matrix if args.matrix is not None else DEFAULT_MATRIX)
+    gap_model = FixedGapModel(args.gap if args.gap is not None else DEFAULT_GAP)
+    if args.shards is not None and args.shards > 1:
+        try:
+            return ShardedEngine.build(
+                database, matrix, gap_model, shard_count=args.shards
+            )
+        except ValueError as error:
+            raise SystemExit(str(error))
+    return OasisEngine.build(database, matrix=matrix, gap_model=gap_model)
+
+
+def _command_search(args: argparse.Namespace) -> int:
     if args.evalue is None and args.min_score is None:
         args.evalue = 10.0
     if args.workers < 1:
         raise SystemExit("--workers must be at least 1")
+    if args.shards is not None and args.shards < 1:
+        raise SystemExit("--shards must be at least 1")
+    # Validate the workload before opening any index: a bad --queries path
+    # must not leak opened shard cursors.
     queries = [args.query] if args.query is not None else _read_query_file(args.queries)
+    engine = _build_search_engine(args)
 
     # Single and batch mode both run through the concurrent executor; a lone
     # query is simply a batch of one.
-    report = engine.search_many(
-        queries,
-        workers=args.workers,
-        evalue=args.evalue,
-        min_score=args.min_score,
-        max_results=args.max_results,
-        timeout=args.timeout,
-    )
+    try:
+        report = engine.search_many(
+            queries,
+            workers=args.workers,
+            evalue=args.evalue,
+            min_score=args.min_score,
+            max_results=args.max_results,
+            timeout=args.timeout,
+        )
+    finally:
+        close = getattr(engine, "close", None)
+        if close is not None:
+            close()
 
     if len(queries) == 1:
         report.raise_first_error()
@@ -188,6 +292,63 @@ def _command_search(args: argparse.Namespace) -> int:
     print()
     print(report.format_summary())
     return 1 if report.statistics.failed else 0
+
+
+def _command_index(args: argparse.Namespace) -> int:
+    handlers = {"build": _command_index_build, "info": _command_index_info}
+    return handlers[args.index_command](args)
+
+
+def _command_index_build(args: argparse.Namespace) -> int:
+    from repro.sharding import ShardedIndexBuilder
+
+    if args.shards < 1:
+        raise SystemExit("--shards must be at least 1")
+    database = read_fasta(args.database)
+    builder = ShardedIndexBuilder(
+        load_matrix(args.matrix),
+        FixedGapModel(args.gap),
+        shard_count=args.shards,
+        by=args.by,
+        block_size=args.block_size,
+    )
+    try:
+        catalog = builder.build(database, args.output)
+    except ValueError as error:
+        raise SystemExit(str(error))
+    print(
+        f"built {catalog.shard_count}-shard index for {len(database)} sequences "
+        f"({database.total_symbols} residues) in {args.output}"
+    )
+    for entry in catalog.shards:
+        print(
+            f"  {entry.path}: sequences [{entry.start_sequence}, "
+            f"{entry.stop_sequence}), {entry.residues} residues"
+        )
+    return 0
+
+
+def _command_index_info(args: argparse.Namespace) -> int:
+    from repro.sharding import CatalogError, ShardCatalog
+
+    try:
+        catalog = ShardCatalog.load(args.directory)
+    except CatalogError as error:
+        raise SystemExit(str(error))
+    print(f"sharded index: {args.directory}")
+    print(
+        f"database: {catalog.database_name} ({catalog.sequence_count} sequences, "
+        f"{catalog.total_residues} residues)"
+    )
+    print(
+        f"configuration: matrix={catalog.matrix_name}, gap={catalog.gap_penalty}, "
+        f"block_size={catalog.block_size}, balanced_by={catalog.balanced_by}"
+    )
+    print(f"{'shard':20s} {'sequences':>18s} {'residues':>10s}")
+    for entry in catalog.shards:
+        span = f"[{entry.start_sequence}, {entry.stop_sequence})"
+        print(f"{entry.path:20s} {span:>18s} {entry.residues:10d}")
+    return 0
 
 
 def _command_experiment(args: argparse.Namespace) -> int:
@@ -226,6 +387,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     handlers = {
         "generate": _command_generate,
         "search": _command_search,
+        "index": _command_index,
         "experiment": _command_experiment,
     }
     return handlers[args.command](args)

@@ -109,6 +109,34 @@ class OasisEngine:
         )
         return cls(disk, matrix, gap_model)
 
+    @staticmethod
+    def build_sharded(
+        database: SequenceDatabase,
+        matrix: SubstitutionMatrix,
+        gap_model: GapModel = FixedGapModel(-1),
+        shard_count: int = 2,
+        **kwargs,
+    ):
+        """Facade over :meth:`repro.sharding.ShardedEngine.build`.
+
+        Splits the database into ``shard_count`` balanced shards, indexes each
+        independently, and returns a :class:`~repro.sharding.ShardedEngine`
+        whose results are hit-for-hit identical to this engine's.
+        """
+        from repro.sharding.engine import ShardedEngine
+
+        return ShardedEngine.build(
+            database, matrix, gap_model, shard_count=shard_count, **kwargs
+        )
+
+    @staticmethod
+    def open_sharded(directory: PathLike, **kwargs):
+        """Facade over :meth:`repro.sharding.ShardedEngine.open`: reopen a
+        persistent sharded index directory from its catalog."""
+        from repro.sharding.engine import ShardedEngine
+
+        return ShardedEngine.open(directory, **kwargs)
+
     # ------------------------------------------------------------------ #
     # Searching
     # ------------------------------------------------------------------ #
@@ -156,6 +184,7 @@ class OasisEngine:
             max_results=max_results,
             compute_alignments=compute_alignments,
             statistics_model=self.converter.parameters,
+            database_size=self.converter.database_size,
             time_budget=time_budget,
             cancel_event=cancel_event,
         )

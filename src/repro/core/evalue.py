@@ -32,6 +32,13 @@ class SelectivityConverter:
     frequencies:
         Optional explicit background frequencies; the database's measured
         residue frequencies are used when omitted.
+    effective_database_size:
+        Optional override of ``n`` in Equations 2-3.  A search over a *part*
+        of a larger collection (one shard of a sharded index, or a manually
+        filtered :class:`SequenceDatabase`) must still prune and report
+        E-values against the size of the **whole** collection, otherwise the
+        same alignment gets a different E-value depending on which sub-database
+        happened to contain it.  Defaults to ``database.total_symbols``.
     """
 
     def __init__(
@@ -39,9 +46,13 @@ class SelectivityConverter:
         matrix: SubstitutionMatrix,
         database: SequenceDatabase,
         frequencies: Optional[Mapping[str, float]] = None,
+        effective_database_size: Optional[int] = None,
     ):
+        if effective_database_size is not None and effective_database_size < 1:
+            raise ValueError("effective_database_size must be at least 1")
         self.matrix = matrix
         self.database = database
+        self.effective_database_size = effective_database_size
         background = frequencies if frequencies is not None else database.residue_frequencies()
         # Fall back to uniform frequencies for degenerate databases (e.g. a
         # single-symbol test database) where the measured composition gives a
@@ -55,7 +66,9 @@ class SelectivityConverter:
 
     @property
     def database_size(self) -> int:
-        """``n`` in Equations 2-3: total residues in the database."""
+        """``n`` in Equations 2-3: total residues in the (effective) database."""
+        if self.effective_database_size is not None:
+            return self.effective_database_size
         return self.database.total_symbols
 
     def min_score_for_evalue(self, evalue: float, query_length: int) -> int:
@@ -71,8 +84,13 @@ class SelectivityConverter:
         return self.parameters.bit_score(score)
 
     def __repr__(self) -> str:
+        effective = (
+            f", effective_n={self.effective_database_size}"
+            if self.effective_database_size is not None
+            else ""
+        )
         return (
             f"SelectivityConverter(matrix={self.matrix.name!r}, "
             f"database={self.database.name!r}, lambda={self.parameters.lambda_:.4f}, "
-            f"K={self.parameters.k:.4f})"
+            f"K={self.parameters.k:.4f}{effective})"
         )

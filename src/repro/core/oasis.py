@@ -30,7 +30,13 @@ from typing import Dict, Iterator, List, Optional, Set
 
 from repro.core.expand import ExpansionContext, expand_arc
 from repro.core.heuristic import compute_heuristic_vector
-from repro.core.results import Alignment, OnlineResultLog, SearchHit, SearchResult
+from repro.core.results import (
+    Alignment,
+    OnlineResultLog,
+    SearchHit,
+    SearchResult,
+    hit_order_key,
+)
 from repro.core.search_node import NodeState, SearchNode, make_queue_entry
 from repro.scoring.gaps import FixedGapModel, GapModel
 from repro.scoring.karlin_altschul import KarlinAltschulParameters
@@ -102,6 +108,7 @@ class QueryExecution:
         max_results: Optional[int] = None,
         compute_alignments: bool = False,
         statistics_model: Optional[KarlinAltschulParameters] = None,
+        database_size: Optional[int] = None,
         time_budget: Optional[float] = None,
         cancel_event: Optional[threading.Event] = None,
     ):
@@ -118,6 +125,12 @@ class QueryExecution:
         self.max_results = max_results
         self.compute_alignments = compute_alignments
         self.statistics_model = statistics_model
+        #: ``n`` of Equation 2 used to annotate E-values.  Defaults to the
+        #: cursor's own database; a sharded engine passes the *global* size so
+        #: a hit gets the same E-value regardless of which shard held it.
+        self.database_size = (
+            int(database_size) if database_size is not None else database.total_symbols
+        )
         self.time_budget = time_budget
         self.statistics = OasisSearchStatistics()
         self.timed_out = False
@@ -150,6 +163,23 @@ class QueryExecution:
     def abort(self) -> None:
         """Ask the execution to stop at the next queue pop (thread-safe)."""
         self._abort_requested = True
+
+    @property
+    def hit_count(self) -> int:
+        """Number of hits emitted so far."""
+        return len(self._hits)
+
+    def set_deadline(self, deadline: Optional[float]) -> None:
+        """Pin an absolute deadline (``time.perf_counter`` timebase).
+
+        ``time_budget`` is relative to when the execution *starts running*,
+        which over-grants time to executions that wait in a pool queue.  A
+        coordinator fanning one query across several executions (the sharded
+        engine) pins one shared absolute deadline instead, so the query's
+        budget covers queueing and all shards together.  Must be called
+        before iteration starts; overrides ``time_budget``.
+        """
+        self._deadline = deadline
 
     def _should_stop(self) -> bool:
         if self._abort_requested or (
@@ -195,7 +225,7 @@ class QueryExecution:
 
         start_time = time.perf_counter()
         self._start_time = start_time
-        if self.time_budget is not None:
+        if self._deadline is None and self.time_budget is not None:
             self._deadline = start_time + self.time_budget
 
         try:
@@ -220,13 +250,46 @@ class QueryExecution:
             reported: Set[int] = set()
             emitted = 0
             sequence_count = len(database)
+            # Hits whose score is proven optimal but whose *rank among equal
+            # scores* is not yet: they are held back until the frontier bound
+            # drops below their score, then emitted in canonical order.  This
+            # keeps the stream online (a hit waits only for its own score
+            # level to finish) while making the emission order deterministic
+            # and identical to the canonically sorted batch result.
+            pending: List[SearchHit] = []
+
+            def drain() -> Iterator[SearchHit]:
+                nonlocal emitted
+                run = sorted(pending, key=hit_order_key)
+                pending.clear()
+                for hit in run:
+                    hit.emitted_at = time.perf_counter() - start_time
+                    emitted += 1
+                    self._hits.append(hit)
+                    self._online_log.record(hit.emitted_at)
+                    yield hit
+                    if self.max_results is not None and emitted >= self.max_results:
+                        return
+
+            def budget_spent() -> bool:
+                return self.max_results is not None and emitted >= self.max_results
 
             while queue:
                 if self._should_stop():
+                    # Stopping is cooperative, but the buffered hits are
+                    # already proven optimal -- hand them over first.
+                    yield from drain()
                     return
                 if len(queue) > statistics.max_queue_size:
                     statistics.max_queue_size = len(queue)
                 node = heapq.heappop(queue)[-1]
+
+                if pending and node.f < pending[0].score:
+                    # The frontier can no longer produce a hit at the buffered
+                    # score: the equal-score run is complete, emit it.
+                    yield from drain()
+                    if budget_spent():
+                        return
 
                 if node.is_accepted:
                     statistics.nodes_accepted += 1
@@ -243,24 +306,17 @@ class QueryExecution:
                         evalue = None
                         if self.statistics_model is not None:
                             evalue = self.statistics_model.evalue(
-                                node.max_score, len(query_codes), database.total_symbols
+                                node.max_score, len(query_codes), self.database_size
                             )
-                        hit = SearchHit(
-                            sequence_index=sequence_index,
-                            sequence_identifier=record.identifier,
-                            score=node.max_score,
-                            evalue=evalue,
-                            alignment=alignment,
-                            emitted_at=time.perf_counter() - start_time,
+                        pending.append(
+                            SearchHit(
+                                sequence_index=sequence_index,
+                                sequence_identifier=record.identifier,
+                                score=node.max_score,
+                                evalue=evalue,
+                                alignment=alignment,
+                            )
                         )
-                        emitted += 1
-                        self._hits.append(hit)
-                        self._online_log.record(
-                            hit.emitted_at if hit.emitted_at is not None else 0.0
-                        )
-                        yield hit
-                        if self.max_results is not None and emitted >= self.max_results:
-                            return
                     if len(reported) >= sequence_count:
                         # Every database sequence already has its strongest
                         # alignment reported; nothing left to find.
@@ -284,6 +340,9 @@ class QueryExecution:
                     counter += 1
                     statistics.nodes_enqueued += 1
                     heapq.heappush(queue, make_queue_entry(child_node, counter))
+
+            # Exhausted queue or full coverage: whatever is buffered is final.
+            yield from drain()
         finally:
             # Runs on normal exhaustion, early return, GeneratorExit (an
             # abandoned generator) and errors alike, so an aborted consumer
@@ -304,13 +363,20 @@ class QueryExecution:
     # Batch interface
     # ------------------------------------------------------------------ #
     def result(self) -> SearchResult:
-        """Drain the stream and collect everything into a SearchResult."""
+        """Drain the stream and collect everything into a SearchResult.
+
+        Hits are put in the canonical order (decreasing score, ties by
+        ``(sequence_identifier, alignment start)``): the online stream's
+        emission order already decreases in score, so this only pins down
+        equal-score runs -- and makes the collected result of any engine
+        (serial, batched, sharded) byte-for-byte comparable.
+        """
         for _ in self:
             pass
         result = SearchResult(
             query=self.query.upper(),
             engine="oasis",
-            hits=list(self._hits),
+            hits=sorted(self._hits, key=hit_order_key),
             elapsed_seconds=self.statistics.elapsed_seconds,
             columns_expanded=self.statistics.columns_expanded,
             parameters={
@@ -394,6 +460,7 @@ class OasisSearch:
         max_results: Optional[int] = None,
         compute_alignments: bool = False,
         statistics_model: Optional[KarlinAltschulParameters] = None,
+        database_size: Optional[int] = None,
         time_budget: Optional[float] = None,
         cancel_event: Optional[threading.Event] = None,
     ) -> QueryExecution:
@@ -405,6 +472,7 @@ class OasisSearch:
             max_results=max_results,
             compute_alignments=compute_alignments,
             statistics_model=statistics_model,
+            database_size=database_size,
             time_budget=time_budget,
             cancel_event=cancel_event,
         )

@@ -69,6 +69,21 @@ class Alignment:
         return "\n".join(lines).rstrip()
 
 
+def hit_order_key(hit: "SearchHit") -> Tuple[int, str, int]:
+    """Canonical total order over hits: decreasing score, then identifier/start.
+
+    Every engine sorts (and every merger of partial results re-sorts) with this
+    key, so a result assembled from index shards is byte-for-byte comparable to
+    the result of one monolithic search: equal scores are broken by the target
+    sequence identifier and, when an alignment was traced, by its start offset
+    in the target.  The key deliberately avoids ``sequence_index`` -- shard
+    results carry shard-local indices until they are remapped, and identifiers
+    are the stable cross-representation name of a sequence.
+    """
+    start = hit.alignment.target_start if hit.alignment is not None else 0
+    return (-hit.score, hit.sequence_identifier, start)
+
+
 @dataclass
 class SearchHit:
     """The strongest alignment found for one database sequence."""
@@ -138,8 +153,8 @@ class SearchResult:
         return {hit.sequence_identifier: hit.score for hit in self.hits}
 
     def sort_by_score(self) -> None:
-        """Order hits by decreasing score (ties broken by sequence index)."""
-        self.hits.sort(key=lambda hit: (-hit.score, hit.sequence_index))
+        """Order hits canonically: decreasing score, ties by (identifier, start)."""
+        self.hits.sort(key=hit_order_key)
 
     def is_sorted_by_score(self) -> bool:
         scores = [hit.score for hit in self.hits]
@@ -181,11 +196,10 @@ class OnlineResultLog:
 
 
 def merge_best_hits(hits: Sequence[SearchHit]) -> List[SearchHit]:
-    """Keep only the strongest hit per sequence, ordered by decreasing score."""
-    best: Dict[int, SearchHit] = {}
+    """Keep only the strongest hit per sequence, in canonical order."""
+    best: Dict[str, SearchHit] = {}
     for hit in hits:
-        existing = best.get(hit.sequence_index)
+        existing = best.get(hit.sequence_identifier)
         if existing is None or hit.score > existing.score:
-            best[hit.sequence_index] = hit
-    merged = sorted(best.values(), key=lambda h: (-h.score, h.sequence_index))
-    return merged
+            best[hit.sequence_identifier] = hit
+    return sorted(best.values(), key=hit_order_key)

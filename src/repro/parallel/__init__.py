@@ -14,6 +14,7 @@ from repro.parallel.executor import (
     BatchSearchExecutor,
     BatchSearchReport,
     BatchStatistics,
+    ShardAggregate,
 )
 
 __all__ = [
@@ -22,4 +23,5 @@ __all__ = [
     "BatchSearchExecutor",
     "BatchSearchReport",
     "BatchStatistics",
+    "ShardAggregate",
 ]

@@ -66,6 +66,34 @@ class BatchQueryOutcome:
 
 
 @dataclass
+class ShardAggregate:
+    """Per-shard work aggregated over every query of a batch.
+
+    Populated only when the queries ran on a sharded engine (each merged
+    result then carries a ``shard_stats`` row per shard); a batch over a
+    monolithic engine reports no shard aggregates.
+    """
+
+    shard: int
+    queries: int = 0
+    hits: int = 0
+    columns_expanded: int = 0
+    nodes_expanded: int = 0
+    #: Sum of per-query, per-shard elapsed times (serial-equivalent work).
+    query_seconds: float = 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "shard": self.shard,
+            "queries": self.queries,
+            "hits": self.hits,
+            "columns_expanded": self.columns_expanded,
+            "nodes_expanded": self.nodes_expanded,
+            "query_seconds": self.query_seconds,
+        }
+
+
+@dataclass
 class BatchStatistics:
     """Aggregate counters over one batch run (sums of per-query statistics)."""
 
@@ -83,6 +111,8 @@ class BatchStatistics:
     #: Wall-clock time of the whole batch.
     wall_seconds: float = 0.0
     workers: int = 1
+    #: Per-shard aggregates, keyed by shard index (sharded engines only).
+    shards: Dict[int, ShardAggregate] = field(default_factory=dict)
 
     @property
     def throughput(self) -> float:
@@ -111,6 +141,9 @@ class BatchStatistics:
             "workers": self.workers,
             "throughput": self.throughput,
             "parallel_efficiency": self.parallel_efficiency,
+            "shards": [
+                self.shards[index].as_dict() for index in sorted(self.shards)
+            ],
         }
 
 
@@ -187,6 +220,18 @@ class BatchSearchReport:
             if isinstance(per_query, OasisSearchStatistics):
                 statistics.nodes_expanded += per_query.nodes_expanded
                 statistics.nodes_enqueued += per_query.nodes_enqueued
+            # Sharded engines annotate each merged result with one row per
+            # shard; fold them into per-shard batch aggregates.
+            for row in result.parameters.get("shard_stats", ()):
+                shard = int(row.get("shard", 0))
+                aggregate = statistics.shards.get(shard)
+                if aggregate is None:
+                    aggregate = statistics.shards[shard] = ShardAggregate(shard=shard)
+                aggregate.queries += 1
+                aggregate.hits += int(row.get("hits", 0))
+                aggregate.columns_expanded += int(row.get("columns_expanded", 0))
+                aggregate.nodes_expanded += int(row.get("nodes_expanded", 0))
+                aggregate.query_seconds += float(row.get("elapsed_seconds", 0.0))
         return cls(outcomes=ordered, statistics=statistics)
 
     def format_summary(self) -> str:
@@ -197,6 +242,13 @@ class BatchSearchReport:
             f"({stats.throughput:.2f} q/s, {stats.workers} workers)",
             f"{stats.total_hits} hits, {stats.columns_expanded} DP columns expanded",
         ]
+        if stats.shards:
+            per_shard = ", ".join(
+                f"#{aggregate.shard}: {aggregate.hits} hits/"
+                f"{aggregate.columns_expanded} cols"
+                for _, aggregate in sorted(stats.shards.items())
+            )
+            parts.append(f"{len(stats.shards)} shards ({per_shard})")
         if stats.timed_out:
             parts.append(f"{stats.timed_out} timed out")
         if stats.aborted:

@@ -1,0 +1,47 @@
+"""Sharded index subsystem: persistent multi-shard disk indexes.
+
+The pieces, bottom-up:
+
+* :class:`ShardPlanner` splits one :class:`~repro.sequences.SequenceDatabase`
+  into N contiguous, balanced sub-databases (by residues or sequence count);
+* :class:`ShardedIndexBuilder` builds one Section-3.4 disk image per shard
+  (memory-bounded partitioned construction) and writes a self-describing
+  ``catalog.json`` manifest next to them;
+* :class:`ShardCatalog` is that manifest: shard paths, sequence-id ranges,
+  residue counts and the scoring-configuration fingerprint, with loud
+  :class:`CatalogMismatchError` failures instead of silently wrong results;
+* :class:`ShardedEngine` opens a catalog (or builds in-memory shards) and
+  answers ``search`` / ``search_online`` / ``search_many`` by scatter-gather
+  over the shards, producing results hit-for-hit identical to a monolithic
+  :class:`~repro.core.engine.OasisEngine` over the same database.
+"""
+
+from repro.sharding.builder import ShardedIndexBuilder, build_sharded_index
+from repro.sharding.catalog import (
+    CATALOG_FILENAME,
+    CatalogError,
+    CatalogMismatchError,
+    ShardCatalog,
+    ShardEntry,
+    config_fingerprint,
+    database_digest,
+)
+from repro.sharding.engine import ShardedEngine, ShardedQueryExecution
+from repro.sharding.planner import ShardPlan, ShardPlanner, ShardSpec
+
+__all__ = [
+    "CATALOG_FILENAME",
+    "CatalogError",
+    "CatalogMismatchError",
+    "ShardCatalog",
+    "ShardEntry",
+    "ShardPlan",
+    "ShardPlanner",
+    "ShardSpec",
+    "ShardedEngine",
+    "ShardedIndexBuilder",
+    "ShardedQueryExecution",
+    "build_sharded_index",
+    "config_fingerprint",
+    "database_digest",
+]

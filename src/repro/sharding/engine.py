@@ -1,0 +1,641 @@
+"""ShardedEngine: scatter-gather search over a set of per-shard indexes.
+
+Each shard is a full :class:`~repro.core.engine.OasisEngine` over its slice
+of the database (in-memory trees for :meth:`ShardedEngine.build`, disk images
+behind buffer pools for :meth:`ShardedEngine.open`).  A query is fanned out
+across the shards on a shared thread pool and the per-shard results are
+merged into one globally ordered :class:`~repro.core.results.SearchResult`.
+
+Correctness of the merge rests on three invariants:
+
+* every shard prunes against the **global** E-value threshold: all shards
+  share one :class:`~repro.core.evalue.SelectivityConverter` built from the
+  whole database, so Equation 3 yields the same ``min_score`` everywhere and
+  Equation 2 annotates every hit with the E-value the monolithic engine would
+  have computed;
+* a sequence lives in exactly one shard, so the union of per-shard hit sets
+  *is* the monolithic hit set (per-sequence best scores are a property of the
+  sequence, not of the index layout), with shard-local sequence indices
+  remapped to global ones through the catalog's contiguous ranges;
+* every engine orders hits canonically
+  (:func:`~repro.core.results.hit_order_key`), so the merged, re-sorted hit
+  list is byte-for-byte identical to the monolithic one.
+
+The parity test in ``tests/test_sharding.py`` checks all three at once.
+"""
+
+from __future__ import annotations
+
+import heapq
+import os
+import threading
+import time
+from bisect import bisect_right
+from concurrent.futures import ThreadPoolExecutor
+from typing import TYPE_CHECKING, Iterable, Iterator, List, Optional, Union
+
+from repro.core.engine import OasisEngine
+from repro.core.evalue import SelectivityConverter
+from repro.core.oasis import OasisSearchStatistics, QueryExecution
+from repro.core.results import SearchHit, SearchResult, hit_order_key
+from repro.scoring.gaps import FixedGapModel, GapModel
+from repro.scoring.matrix import SubstitutionMatrix
+from repro.sequences.database import SequenceDatabase
+from repro.sharding.builder import ShardedIndexBuilder
+from repro.sharding.catalog import ShardCatalog, config_fingerprint
+from repro.sharding.planner import ShardPlanner, ShardSpec, slice_shard
+from repro.storage.blocks import BLOCK_SIZE_DEFAULT
+from repro.storage.disk_tree import DEFAULT_BUFFER_POOL_BYTES, DiskSuffixTree
+from repro.suffixtree.generalized import GeneralizedSuffixTree
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.parallel.executor import BatchSearchReport
+
+PathLike = Union[str, os.PathLike]
+
+
+class ShardedQueryExecution:
+    """One query scattered across every shard, gathered into one result.
+
+    Mirrors the :class:`~repro.core.oasis.QueryExecution` surface the batch
+    executor relies on: iterate it for the online stream (a lazy k-way merge
+    of the per-shard streams, globally ordered because each shard emits in
+    canonical order) or call :meth:`result` to run all shards concurrently on
+    the engine's shard pool and collect the merged batch result.
+    """
+
+    def __init__(
+        self,
+        engine: "ShardedEngine",
+        executions: List[QueryExecution],
+        query: str,
+        max_results: Optional[int],
+        time_budget: Optional[float] = None,
+    ):
+        self.engine = engine
+        self.executions = executions
+        self.query = query
+        self.max_results = max_results
+        self.time_budget = time_budget
+        self._iterator: Optional[Iterator[SearchHit]] = None
+        self._collected: List[SearchHit] = []
+        self._start_time: Optional[float] = None
+        self._wall_seconds = 0.0
+        self._result: Optional[SearchResult] = None
+
+    # ------------------------------------------------------------------ #
+    # Flags and statistics
+    # ------------------------------------------------------------------ #
+    @property
+    def timed_out(self) -> bool:
+        return any(execution.timed_out for execution in self.executions)
+
+    @property
+    def aborted(self) -> bool:
+        return any(execution.aborted for execution in self.executions)
+
+    @property
+    def statistics(self) -> OasisSearchStatistics:
+        """Work counters summed over all shards (queue peak is the max)."""
+        merged = OasisSearchStatistics()
+        for execution in self.executions:
+            shard = execution.statistics
+            merged.columns_expanded += shard.columns_expanded
+            merged.nodes_expanded += shard.nodes_expanded
+            merged.nodes_enqueued += shard.nodes_enqueued
+            merged.nodes_accepted += shard.nodes_accepted
+            merged.nodes_pruned += shard.nodes_pruned
+            merged.pruned_non_positive += shard.pruned_non_positive
+            merged.pruned_dominated += shard.pruned_dominated
+            merged.pruned_threshold += shard.pruned_threshold
+            merged.max_queue_size = max(merged.max_queue_size, shard.max_queue_size)
+        merged.elapsed_seconds = self._wall_seconds
+        return merged
+
+    def abort(self) -> None:
+        for execution in self.executions:
+            execution.abort()
+
+    def _pin_deadline(self) -> None:
+        """Share one absolute deadline across all shard executions.
+
+        A per-execution relative budget would restart whenever a shard task
+        leaves the pool queue, granting a loaded batch up to
+        ``shard_count x budget`` per query; pinning ``now + budget`` before
+        anything is submitted keeps the budget a true per-query wall clock.
+        """
+        if self.time_budget is None:
+            return
+        deadline = time.perf_counter() + self.time_budget
+        for execution in self.executions:
+            execution.set_deadline(deadline)
+
+    # ------------------------------------------------------------------ #
+    # Streaming (online) interface
+    # ------------------------------------------------------------------ #
+    def __iter__(self) -> Iterator[SearchHit]:
+        if self._iterator is None:
+            self._iterator = self._generate()
+        return self._iterator
+
+    def __next__(self) -> SearchHit:
+        return next(iter(self))
+
+    def _shard_stream(self, shard: int, execution: QueryExecution) -> Iterator[SearchHit]:
+        offset = self.engine.sequence_offset(shard)
+        for hit in execution:
+            hit.sequence_index += offset
+            yield hit
+
+    def _generate(self) -> Iterator[SearchHit]:
+        """Lazy k-way merge of the shard streams, globally strongest-first.
+
+        The shard executions run interleaved on the calling thread (the
+        paper's online consumption model); only :meth:`result` uses the shard
+        pool.  Each shard stream is sorted by the canonical hit order, so the
+        merge is too.
+        """
+        self._start_time = time.perf_counter()
+        self._pin_deadline()
+        streams = [
+            self._shard_stream(shard, execution)
+            for shard, execution in enumerate(self.executions)
+        ]
+        try:
+            emitted = 0
+            for hit in heapq.merge(*streams, key=hit_order_key):
+                self._collected.append(hit)
+                yield hit
+                emitted += 1
+                if self.max_results is not None and emitted >= self.max_results:
+                    return
+        finally:
+            self._wall_seconds = time.perf_counter() - self._start_time
+            for stream in streams:
+                stream.close()
+            # Closing the wrappers does not close the shard executions
+            # themselves; do it explicitly so their statistics are finalised
+            # and an abandoned merge cannot silently resume work later.
+            for execution in self.executions:
+                execution.close()
+
+    def close(self) -> None:
+        """Abandon the merged stream (and with it every shard stream)."""
+        if self._iterator is not None:
+            self._iterator.close()
+
+    # ------------------------------------------------------------------ #
+    # Batch interface
+    # ------------------------------------------------------------------ #
+    def result(self) -> SearchResult:
+        """Run every shard (concurrently, unless already streaming) and merge.
+
+        Memoised: the remap mutates the shard executions' hit objects in
+        place, so the merge must run exactly once -- repeated calls return
+        the same object, as :meth:`QueryExecution.result` effectively does.
+        """
+        if self._result is not None:
+            return self._result
+        start = time.perf_counter()
+        if self._iterator is not None:
+            # The consumer started streaming: finish draining that stream
+            # (hits were collected as they were emitted) rather than
+            # re-running the shards.
+            for _ in self._iterator:
+                pass
+            hits = list(self._collected)
+        else:
+            self._pin_deadline()
+            shard_results = self.engine._scatter(self.executions)
+            self._wall_seconds = time.perf_counter() - start
+            hits = []
+            for shard, result in enumerate(shard_results):
+                offset = self.engine.sequence_offset(shard)
+                for hit in result.hits:
+                    hit.sequence_index += offset
+                    hits.append(hit)
+            hits.sort(key=hit_order_key)
+            if self.max_results is not None:
+                hits = hits[: self.max_results]
+
+        # Per-shard hit counts reflect the *merged* result: with max_results,
+        # a shard's emitted top-k may exceed what survives the global
+        # truncation, and the per-shard rows must sum to len(hits).
+        survived = [0] * len(self.executions)
+        offsets = self.engine._offsets
+        for hit in hits:
+            survived[bisect_right(offsets, hit.sequence_index) - 1] += 1
+
+        merged = SearchResult(
+            query=self.query.upper(),
+            engine="oasis-sharded",
+            hits=hits,
+            elapsed_seconds=self._wall_seconds,
+            columns_expanded=sum(
+                execution.statistics.columns_expanded for execution in self.executions
+            ),
+            parameters={
+                "min_score": self.executions[0].min_score,
+                "matrix": self.engine.matrix.name,
+                "gap": self.engine.gap_model.per_symbol,
+                "max_results": self.max_results,
+                "shards": len(self.executions),
+                "shard_stats": [
+                    {
+                        "shard": shard,
+                        "hits": survived[shard],
+                        "columns_expanded": execution.statistics.columns_expanded,
+                        "nodes_expanded": execution.statistics.nodes_expanded,
+                        "elapsed_seconds": execution.statistics.elapsed_seconds,
+                    }
+                    for shard, execution in enumerate(self.executions)
+                ],
+            },
+            statistics=self.statistics,
+        )
+        if self.timed_out:
+            merged.parameters["timed_out"] = True
+        if self.aborted:
+            merged.parameters["aborted"] = True
+        self._result = merged
+        return merged
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardedQueryExecution(query={self.query!r}, "
+            f"shards={len(self.executions)})"
+        )
+
+
+class ShardedEngine:
+    """Scatter-gather OASIS search over N per-shard indexes.
+
+    Use :meth:`build` for an in-memory sharded engine, or
+    :meth:`ShardedIndexBuilder.build` + :meth:`open` for the persistent form.
+    The engine mirrors :class:`~repro.core.engine.OasisEngine`'s searching
+    surface (``search`` / ``search_online`` / ``search_many`` / ``execute``),
+    so every consumer of an engine -- the batch executor, the workload
+    adapters, the CLI -- can run sharded without changes.
+    """
+
+    def __init__(
+        self,
+        shards: List[OasisEngine],
+        database: SequenceDatabase,
+        matrix: SubstitutionMatrix,
+        gap_model: GapModel = FixedGapModel(-1),
+        converter: Optional[SelectivityConverter] = None,
+        catalog: Optional[ShardCatalog] = None,
+        directory: Optional[str] = None,
+        workers: Optional[int] = None,
+    ):
+        if not shards:
+            raise ValueError("a ShardedEngine needs at least one shard")
+        self.shards = list(shards)
+        self._database = database
+        self.matrix = matrix
+        self.gap_model = gap_model
+        self.converter = converter or SelectivityConverter(matrix, database)
+        self.catalog = catalog
+        self.directory = directory
+        self.workers = int(workers) if workers is not None else len(self.shards)
+        if self.workers < 1:
+            raise ValueError("workers must be at least 1")
+        #: Global sequence index of each shard's first sequence.
+        self._offsets = self._compute_offsets()
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._pool_lock = threading.Lock()
+        self._closed = False
+
+    def _compute_offsets(self) -> List[int]:
+        if self.catalog is not None:
+            return [entry.start_sequence for entry in self.catalog.shards]
+        offsets, position = [], 0
+        for shard in self.shards:
+            offsets.append(position)
+            position += len(shard.database)
+        return offsets
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def build(
+        cls,
+        database: SequenceDatabase,
+        matrix: SubstitutionMatrix,
+        gap_model: GapModel = FixedGapModel(-1),
+        shard_count: int = 2,
+        by: str = "residues",
+        workers: Optional[int] = None,
+    ) -> "ShardedEngine":
+        """Split the database and build one in-memory index per shard."""
+        plan = ShardPlanner(shard_count, by=by).plan(database)
+        converter = SelectivityConverter(
+            matrix, database, effective_database_size=database.total_symbols
+        )
+        shards = [
+            OasisEngine(
+                GeneralizedSuffixTree.build(sub_database),
+                matrix,
+                gap_model,
+                converter=converter,
+            )
+            for sub_database in plan.sub_databases(database)
+        ]
+        return cls(
+            shards,
+            database,
+            matrix,
+            gap_model,
+            converter=converter,
+            workers=workers,
+        )
+
+    @classmethod
+    def build_on_disk(
+        cls,
+        database: SequenceDatabase,
+        directory: PathLike,
+        matrix: SubstitutionMatrix,
+        gap_model: GapModel = FixedGapModel(-1),
+        shard_count: int = 2,
+        by: str = "residues",
+        block_size: int = BLOCK_SIZE_DEFAULT,
+        workers: Optional[int] = None,
+        **open_kwargs,
+    ) -> "ShardedEngine":
+        """Build a persistent sharded index directory and open it."""
+        ShardedIndexBuilder(
+            matrix,
+            gap_model,
+            shard_count=shard_count,
+            by=by,
+            block_size=block_size,
+        ).build(database, directory)
+        return cls.open(
+            directory,
+            database=database,
+            matrix=matrix,
+            gap_model=gap_model,
+            workers=workers,
+            **open_kwargs,
+        )
+
+    @classmethod
+    def open(
+        cls,
+        directory: PathLike,
+        database: Optional[SequenceDatabase] = None,
+        matrix: Optional[SubstitutionMatrix] = None,
+        gap_model: Optional[GapModel] = None,
+        buffer_pool_bytes: int = DEFAULT_BUFFER_POOL_BYTES,
+        simulated_miss_latency: float = 0.0,
+        sleep_on_miss: bool = False,
+        workers: Optional[int] = None,
+    ) -> "ShardedEngine":
+        """Open a persistent sharded index from its catalog.
+
+        The catalog makes the directory self-contained: when ``matrix`` /
+        ``gap_model`` / ``database`` are omitted they are restored from the
+        recorded configuration and the bundled FASTA.  When they *are* given
+        they must match what the index was built with --
+        :class:`~repro.sharding.catalog.CatalogMismatchError` otherwise.
+
+        ``buffer_pool_bytes`` is the total budget, split evenly across the
+        shard buffer pools (per-shard budgeting is a roadmap item).
+        """
+        from repro.scoring.data import load_matrix
+        from repro.sequences.fasta import read_fasta
+
+        directory = str(directory)
+        catalog = ShardCatalog.load(directory)
+
+        if matrix is None:
+            matrix = load_matrix(catalog.matrix_name)
+        if gap_model is None:
+            gap_model = FixedGapModel(catalog.gap_penalty)
+        catalog.check_fingerprint(
+            config_fingerprint(matrix.name, gap_model.per_symbol, catalog.block_size)
+        )
+
+        if database is None:
+            database_path = catalog.database_path(directory)
+            database = read_fasta(database_path, name=catalog.database_name)
+        catalog.check_database(database)
+
+        converter = SelectivityConverter(
+            matrix, database, effective_database_size=database.total_symbols
+        )
+        per_shard_pool = max(
+            catalog.block_size, buffer_pool_bytes // max(1, catalog.shard_count)
+        )
+        shards: List[OasisEngine] = []
+        try:
+            for entry in catalog.shards:
+                sub_database = slice_shard(
+                    database,
+                    ShardSpec(
+                        index=entry.index,
+                        start_sequence=entry.start_sequence,
+                        stop_sequence=entry.stop_sequence,
+                        residues=entry.residues,
+                    ),
+                )
+                cursor = DiskSuffixTree(
+                    catalog.shard_image_path(directory, entry),
+                    sub_database,
+                    buffer_pool_bytes=per_shard_pool,
+                    simulated_miss_latency=simulated_miss_latency,
+                    sleep_on_miss=sleep_on_miss,
+                )
+                shards.append(OasisEngine(cursor, matrix, gap_model, converter=converter))
+        except Exception:
+            for shard in shards:
+                shard.cursor.close()  # type: ignore[attr-defined]
+            raise
+        return cls(
+            shards,
+            database,
+            matrix,
+            gap_model,
+            converter=converter,
+            catalog=catalog,
+            directory=directory,
+            workers=workers,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def database(self) -> SequenceDatabase:
+        """The full (global) database the shards jointly index."""
+        return self._database
+
+    @property
+    def shard_count(self) -> int:
+        return len(self.shards)
+
+    def sequence_offset(self, shard: int) -> int:
+        """Global index of the shard's first sequence (for hit remapping)."""
+        return self._offsets[shard]
+
+    def min_score_for(self, query: str, evalue: float) -> int:
+        """Equation 3 against the *global* database size."""
+        return self.converter.min_score_for_evalue(evalue, len(query))
+
+    # ------------------------------------------------------------------ #
+    # Searching
+    # ------------------------------------------------------------------ #
+    def execute(
+        self,
+        query: str,
+        min_score: Optional[int] = None,
+        evalue: Optional[float] = None,
+        max_results: Optional[int] = None,
+        compute_alignments: bool = False,
+        time_budget: Optional[float] = None,
+        cancel_event: Optional[threading.Event] = None,
+    ) -> ShardedQueryExecution:
+        """Create one (unstarted) per-shard execution per shard.
+
+        Every shard resolves the same selectivity: they share the global
+        converter, so an ``evalue`` maps to one global ``min_score`` and each
+        shard prunes against the global threshold, not its own size.
+        """
+        if self._closed:
+            raise RuntimeError("ShardedEngine is closed")
+        executions = [
+            shard.execute(
+                query,
+                min_score=min_score,
+                evalue=evalue,
+                # Each shard keeps at most the global top-k: a hit outside a
+                # shard's own top-k can never be in the merged top-k.
+                max_results=max_results,
+                compute_alignments=compute_alignments,
+                time_budget=time_budget,
+                cancel_event=cancel_event,
+            )
+            for shard in self.shards
+        ]
+        return ShardedQueryExecution(
+            self, executions, query, max_results, time_budget=time_budget
+        )
+
+    def search(
+        self,
+        query: str,
+        min_score: Optional[int] = None,
+        evalue: Optional[float] = None,
+        max_results: Optional[int] = None,
+        compute_alignments: bool = False,
+    ) -> SearchResult:
+        """Scatter the query across all shards, gather one merged result."""
+        return self.execute(
+            query,
+            min_score=min_score,
+            evalue=evalue,
+            max_results=max_results,
+            compute_alignments=compute_alignments,
+        ).result()
+
+    def search_online(
+        self,
+        query: str,
+        min_score: Optional[int] = None,
+        evalue: Optional[float] = None,
+        max_results: Optional[int] = None,
+        compute_alignments: bool = False,
+    ) -> Iterator[SearchHit]:
+        """Stream merged hits in globally decreasing canonical order."""
+        return iter(
+            self.execute(
+                query,
+                min_score=min_score,
+                evalue=evalue,
+                max_results=max_results,
+                compute_alignments=compute_alignments,
+            )
+        )
+
+    def search_many(
+        self,
+        queries: Iterable[str],
+        workers: int = 4,
+        min_score: Optional[int] = None,
+        evalue: Optional[float] = None,
+        max_results: Optional[int] = None,
+        compute_alignments: bool = False,
+        timeout: Optional[float] = None,
+    ) -> "BatchSearchReport":
+        """Concurrent batch search: queries fan out over a thread pool, and
+        each query in turn fans out across the shards on the shared shard
+        pool.  The report carries per-shard aggregates
+        (``report.statistics.shards``)."""
+        from repro.parallel.executor import BatchSearchExecutor
+
+        executor = BatchSearchExecutor.for_engine(
+            self,
+            workers=workers,
+            timeout=timeout,
+            min_score=min_score,
+            evalue=evalue,
+            max_results=max_results,
+            compute_alignments=compute_alignments,
+        )
+        return executor.run(queries)
+
+    # ------------------------------------------------------------------ #
+    # Shard pool
+    # ------------------------------------------------------------------ #
+    def _scatter(self, executions: List[QueryExecution]) -> List[SearchResult]:
+        """Run per-shard executions concurrently on the shared shard pool."""
+        if len(executions) == 1:
+            return [executions[0].result()]
+        pool = self._shard_pool()
+        futures = [pool.submit(execution.result) for execution in executions]
+        return [future.result() for future in futures]
+
+    def _shard_pool(self) -> ThreadPoolExecutor:
+        with self._pool_lock:
+            if self._closed:
+                # Recreating the pool here would leak an unstoppable executor
+                # searching already-closed shard cursors.
+                raise RuntimeError("ShardedEngine is closed")
+            if self._pool is None:
+                self._pool = ThreadPoolExecutor(
+                    max_workers=self.workers, thread_name_prefix="oasis-shard"
+                )
+            return self._pool
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Shut the shard pool down and close disk-resident shard cursors."""
+        if self._closed:
+            return
+        self._closed = True
+        with self._pool_lock:
+            if self._pool is not None:
+                self._pool.shutdown(wait=True)
+                self._pool = None
+        for shard in self.shards:
+            close = getattr(shard.cursor, "close", None)
+            if close is not None:
+                close()
+
+    def __enter__(self) -> "ShardedEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        source = f", directory={self.directory!r}" if self.directory else ""
+        return (
+            f"ShardedEngine(database={self._database.name!r}, "
+            f"shards={self.shard_count}, workers={self.workers}{source})"
+        )

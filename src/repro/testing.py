@@ -30,6 +30,20 @@ BASES = "ACGT"
 DEFAULT_BENCH_QUERIES = 24
 
 
+def smoke_mode() -> bool:
+    """Whether the benchmarks run as a CI smoke check.
+
+    In smoke mode (``OASIS_BENCH_SMOKE=1``) every benchmark still *executes*
+    -- that is the point: collection-only CI lets the benchmark bodies
+    bit-rot -- but performance assertions (speedup floors, timing ratios) are
+    skipped, because a shared CI runner at the tiny scale proves nothing
+    about throughput.  Correctness assertions must stay unconditional.
+    """
+    import os
+
+    return os.environ.get("OASIS_BENCH_SMOKE", "") == "1"
+
+
 def random_protein(rng: random.Random, length: int) -> str:
     return "".join(rng.choice(AMINO_ACIDS) for _ in range(length))
 

@@ -12,7 +12,10 @@ from __future__ import annotations
 
 import threading
 from abc import ABC, abstractmethod
-from typing import Optional
+from typing import TYPE_CHECKING, Optional, Union
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.sharding.engine import ShardedEngine
 
 from repro.baselines.blast import BlastLikeSearch, BlastParameters
 from repro.baselines.smith_waterman import SmithWatermanAligner
@@ -55,11 +58,17 @@ class EngineAdapter(ABC):
 
 
 class OasisAdapter(EngineAdapter):
-    """OASIS with a fixed E-value cutoff (converted per query via Equation 3)."""
+    """OASIS with a fixed E-value cutoff (converted per query via Equation 3).
+
+    ``engine`` may be a monolithic :class:`~repro.core.engine.OasisEngine` or
+    a :class:`~repro.sharding.ShardedEngine` -- both expose the same
+    ``execute`` surface, and their results are hit-for-hit identical, so the
+    workload runner can time either behind one adapter.
+    """
 
     def __init__(
         self,
-        engine: OasisEngine,
+        engine: "Union[OasisEngine, ShardedEngine]",
         evalue: Optional[float] = 20_000.0,
         min_score: Optional[int] = None,
         max_results: Optional[int] = None,

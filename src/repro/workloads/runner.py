@@ -14,7 +14,7 @@ from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.core.results import SearchResult
 from repro.datagen.motifs import MotifQuery, MotifWorkload
-from repro.parallel.executor import BatchSearchExecutor
+from repro.parallel.executor import BatchSearchExecutor, BatchSearchReport
 from repro.workloads.engines import EngineAdapter
 
 
@@ -74,6 +74,9 @@ class WorkloadRunSummary:
 
     measurements: List[QueryMeasurement] = field(default_factory=list)
     total_seconds: float = 0.0
+    #: The full batch report per engine (aggregate statistics, per-shard
+    #: aggregates for sharded engines, timeout/abort flags).
+    reports: Dict[str, BatchSearchReport] = field(default_factory=dict)
 
     def for_engine(self, engine_name: str) -> List[QueryMeasurement]:
         return [m for m in self.measurements if m.engine == engine_name]
@@ -128,7 +131,7 @@ class WorkloadRunner:
         ]
         summary = WorkloadRunSummary()
         start = time.perf_counter()
-        reports = {}
+        reports = summary.reports
         for engine in self.engines:
             executor = BatchSearchExecutor.for_adapter(
                 engine, workers=self.workers, timeout=self.timeout

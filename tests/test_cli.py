@@ -161,6 +161,142 @@ class TestBatchSearch:
         assert "time budget" in output
 
 
+class TestShardedSearch:
+    def test_search_with_in_memory_shards_matches_monolithic(
+        self, generated_files, capsys
+    ):
+        fasta, queries = generated_files
+        main(["search", "--database", str(fasta), "--queries", str(queries), "--min-score", "15"])
+        monolithic = capsys.readouterr().out.splitlines()
+        main(
+            [
+                "search",
+                "--database",
+                str(fasta),
+                "--queries",
+                str(queries),
+                "--shards",
+                "3",
+                "--min-score",
+                "15",
+            ]
+        )
+        sharded = capsys.readouterr().out.splitlines()
+        assert [line.split()[:3] for line in monolithic[1:6]] == [
+            line.split()[:3] for line in sharded[1:6]
+        ]
+
+    def test_requires_database_or_index(self):
+        with pytest.raises(SystemExit, match="--database or --index"):
+            main(["search", "--query", "MKV", "--min-score", "15"])
+
+    def test_too_many_shards_is_a_clean_error(self, generated_files):
+        fasta, _ = generated_files
+        with pytest.raises(SystemExit, match="non-empty shards"):
+            main(
+                [
+                    "search",
+                    "--database",
+                    str(fasta),
+                    "--query",
+                    "MKV",
+                    "--shards",
+                    "5000",
+                    "--min-score",
+                    "15",
+                ]
+            )
+
+
+class TestIndexCommands:
+    @pytest.fixture
+    def index_dir(self, tmp_path, generated_files):
+        fasta, _ = generated_files
+        directory = tmp_path / "index"
+        code = main(
+            [
+                "index",
+                "build",
+                "--database",
+                str(fasta),
+                "--output",
+                str(directory),
+                "--shards",
+                "3",
+            ]
+        )
+        assert code == 0
+        return directory
+
+    def test_build_writes_catalog_and_images(self, index_dir):
+        assert (index_dir / "catalog.json").exists()
+        assert (index_dir / "database.fasta").exists()
+        assert sorted(p.name for p in index_dir.glob("*.oasis")) == [
+            "shard-0000.oasis",
+            "shard-0001.oasis",
+            "shard-0002.oasis",
+        ]
+
+    def test_info_prints_layout(self, index_dir, capsys):
+        code = main(["index", "info", str(index_dir)])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "shard-0002.oasis" in output
+        assert "matrix=PAM30" in output
+
+    def test_info_rejects_non_index_directory(self, tmp_path):
+        with pytest.raises(SystemExit, match="catalog.json"):
+            main(["index", "info", str(tmp_path)])
+
+    def test_search_reuses_persisted_index(self, index_dir, generated_files, capsys):
+        fasta, queries = generated_files
+        main(["search", "--database", str(fasta), "--queries", str(queries), "--min-score", "15"])
+        monolithic = capsys.readouterr().out.splitlines()
+        # No --database: sequences come from the FASTA bundled in the index.
+        code = main(
+            ["search", "--index", str(index_dir), "--queries", str(queries), "--min-score", "15"]
+        )
+        assert code == 0
+        sharded = capsys.readouterr().out.splitlines()
+        assert [line.split()[:3] for line in monolithic[1:6]] == [
+            line.split()[:3] for line in sharded[1:6]
+        ]
+
+    def test_search_index_rejects_conflicting_shards(self, index_dir, generated_files):
+        _, queries = generated_files
+        with pytest.raises(SystemExit, match="conflicts with the catalog"):
+            main(
+                [
+                    "search",
+                    "--index",
+                    str(index_dir),
+                    "--queries",
+                    str(queries),
+                    "--shards",
+                    "2",
+                    "--min-score",
+                    "15",
+                ]
+            )
+
+    def test_search_index_rejects_mismatched_config(self, index_dir, generated_files):
+        _, queries = generated_files
+        with pytest.raises(SystemExit, match="different configuration"):
+            main(
+                [
+                    "search",
+                    "--index",
+                    str(index_dir),
+                    "--queries",
+                    str(queries),
+                    "--gap",
+                    "-4",
+                    "--min-score",
+                    "15",
+                ]
+            )
+
+
 class TestExperimentCommand:
     def test_runs_space_experiment(self, capsys):
         code = main(["experiment", "space", "--scale", "tiny"])

@@ -140,6 +140,16 @@ class TestOnlineBehaviour:
         assert len(top2) == 2
         assert [h.score for h in top2] == [h.score for h in full][:2]
 
+    def test_set_deadline_overrides_time_budget(self, engine):
+        import time as time_module
+
+        execution = engine.execute("WKDDGNGYISAAE", min_score=10, time_budget=60.0)
+        execution.set_deadline(time_module.perf_counter() - 1.0)
+        result = execution.result()
+        assert execution.timed_out
+        assert result.parameters.get("timed_out") is True
+        assert len(result) == 0
+
     def test_abandoning_the_generator_is_safe(self, engine):
         stream = engine.search_online("WKDDGNGYISAAE", min_score=10)
         first = next(stream)

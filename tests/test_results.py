@@ -75,6 +75,28 @@ class TestSearchResult:
         assert result.is_sorted_by_score()
         assert result[0].score == 9
 
+    def test_sorting_breaks_ties_by_identifier(self):
+        result = SearchResult(
+            "Q",
+            "oasis",
+            hits=[
+                make_hit(0, 5, identifier="zulu"),
+                make_hit(1, 5, identifier="alpha"),
+                make_hit(2, 9, identifier="mike"),
+            ],
+        )
+        result.sort_by_score()
+        assert [h.sequence_identifier for h in result] == ["mike", "alpha", "zulu"]
+
+    def test_sorting_breaks_identifier_ties_by_alignment_start(self):
+        early = make_hit(0, 5, identifier="same")
+        early.alignment = Alignment(5, 0, 4, 2, 6)
+        late = make_hit(1, 5, identifier="same")
+        late.alignment = Alignment(5, 0, 4, 9, 13)
+        result = SearchResult("Q", "oasis", hits=[late, early])
+        result.sort_by_score()
+        assert [h.alignment.target_start for h in result] == [2, 9]
+
 
 class TestOnlineResultLog:
     def test_record_accumulates(self):
@@ -103,3 +125,9 @@ class TestMergeBestHits:
     def test_orders_by_score(self):
         merged = merge_best_hits([make_hit(0, 2), make_hit(1, 8)])
         assert [h.sequence_index for h in merged] == [1, 0]
+
+    def test_equal_scores_order_by_identifier(self):
+        merged = merge_best_hits(
+            [make_hit(0, 5, identifier="zulu"), make_hit(1, 5, identifier="alpha")]
+        )
+        assert [h.sequence_identifier for h in merged] == ["alpha", "zulu"]
