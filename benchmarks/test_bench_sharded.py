@@ -29,7 +29,7 @@ from repro.experiments.common import build_protein_dataset
 from repro.sharding import ShardedEngine, ShardedIndexBuilder
 from repro.storage.builder import build_disk_image
 from repro.storage.disk_tree import DiskSuffixTree
-from repro.testing import smoke_mode
+from repro.testing import bench_backend, smoke_mode
 
 WORKERS = 4
 SHARD_COUNTS = (1, 2, 4)
@@ -118,8 +118,12 @@ def run(config, tmp_dir) -> ShardedComparisonResult:
     )
 
     # ------------------------------------------------------------------ #
-    # Persistent sharded indexes, batch-searched with the executor.
+    # Persistent sharded indexes, batch-searched with the executor.  The
+    # scatter backend defaults to threads (right for the simulated-I/O
+    # regime) but honours OASIS_BACKEND, which is how CI smokes the
+    # process-scatter path on every push.
     # ------------------------------------------------------------------ #
+    scatter_backend = bench_backend(default=f"threads:{WORKERS}")
     for shard_count in SHARD_COUNTS:
         directory = os.path.join(tmp_dir, f"sharded-{shard_count}")
         ShardedIndexBuilder(
@@ -143,6 +147,7 @@ def run(config, tmp_dir) -> ShardedComparisonResult:
             ),
             simulated_miss_latency=MISS_LATENCY,
             sleep_on_miss=True,
+            backend=scatter_backend,
         ) as sharded:
             report = sharded.search_many(queries, workers=WORKERS, evalue=evalue)
             parallel = report.results()
@@ -183,4 +188,107 @@ def test_bench_sharded_throughput(benchmark, config, tmp_path):
         f"expected >=1.5x throughput from {max(SHARD_COUNTS)} shards / "
         f"{WORKERS} workers over the monolithic serial baseline, "
         f"measured {best.speedup:.2f}x"
+    )
+
+
+# --------------------------------------------------------------------- #
+# Thread vs process scatter on the CPU-bound (in-memory) regime
+# --------------------------------------------------------------------- #
+#: Shards/workers of the backend comparison.
+BACKEND_SHARDS = 4
+
+
+def run_backend_comparison(config, tmp_dir) -> ShardedComparisonResult:
+    """Serial vs thread vs process scatter with *no* simulated I/O.
+
+    With generous buffer pools and zero miss latency every page access is a
+    cache hit, so the per-shard searches are pure CPU -- the regime where
+    thread scatter is GIL-serialised and process scatter is the only way to
+    use more than one core.  All three backends search the same persistent
+    4-shard index with single-query-at-a-time batches (``workers=1``), so
+    the scatter backend is the only variable.
+    """
+    dataset = build_protein_dataset(config)
+    queries = [query.text for query in dataset.workload]
+    evalue = config.effective_evalue(dataset.database_symbols)
+    result = ShardedComparisonResult(queries=len(queries), workers=WORKERS)
+
+    directory = os.path.join(tmp_dir, f"backend-sharded-{BACKEND_SHARDS}")
+    ShardedIndexBuilder(
+        dataset.matrix,
+        dataset.gap_model,
+        shard_count=BACKEND_SHARDS,
+        block_size=config.block_size,
+    ).build(dataset.database, directory)
+
+    signatures = {}
+    walls = {}
+    for spec in ("serial", f"threads:{WORKERS}", f"processes:{WORKERS}"):
+        with ShardedEngine.open(
+            directory,
+            database=dataset.database,
+            matrix=dataset.matrix,
+            gap_model=dataset.gap_model,
+            backend=spec,
+        ) as sharded:
+            # Warm the caches the regime assumes are hot with a full untimed
+            # pass under concurrent load: a single query would leave most
+            # (worker, shard) pairs cold -- process workers open shard
+            # engines lazily and tasks are not pinned, so only many
+            # concurrent tasks spread the first-touch opens (catalog, FASTA,
+            # cursor) across every worker before the timed window.
+            sharded.search_many(queries, workers=WORKERS, evalue=evalue)
+            report = sharded.search_many(queries, workers=1, evalue=evalue)
+            results = report.results()
+        signatures[spec] = [hit_signature(r) for r in results]
+        walls[spec] = report.statistics.wall_seconds
+
+    serial_wall = walls["serial"]
+    for spec in signatures:
+        wall = walls[spec]
+        result.rows.append(
+            ShardedComparisonRow(
+                configuration=spec,
+                wall_seconds=wall,
+                throughput=len(queries) / wall if wall else 0.0,
+                speedup=serial_wall / wall if wall else 0.0,
+                identical=signatures[spec] == signatures["serial"],
+            )
+        )
+    return result
+
+
+def test_bench_backend_scatter_cpu_bound(benchmark, config, tmp_path):
+    """processes:4 must beat threads:4 when the work is CPU-bound."""
+    from repro.testing import emit
+
+    result = benchmark.pedantic(
+        run_backend_comparison, args=(config, str(tmp_path)), iterations=1, rounds=1
+    )
+    emit(result)
+
+    # Hit-for-hit parity across backends is unconditional.
+    for row in result.rows:
+        assert row.identical, (
+            f"{row.configuration}: scatter-backend hits differ from serial"
+        )
+
+    if smoke_mode():
+        return
+    threads = result.row(f"threads:{WORKERS}")
+    processes = result.row(f"processes:{WORKERS}")
+    advantage = (
+        threads.wall_seconds / processes.wall_seconds
+        if processes.wall_seconds
+        else 0.0
+    )
+    # The GIL serialises thread scatter on CPU-bound shards; worker
+    # processes actually use the cores.  1.3x is a conservative floor for
+    # 4 shards on a multi-core machine (relaxed in smoke mode, where CI
+    # runners prove nothing about throughput).
+    assert advantage >= 1.3, (
+        f"expected processes:{WORKERS} to beat threads:{WORKERS} by >=1.3x "
+        f"on the CPU-bound regime, measured {advantage:.2f}x "
+        f"(threads {threads.wall_seconds:.2f}s vs "
+        f"processes {processes.wall_seconds:.2f}s)"
     )

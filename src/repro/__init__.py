@@ -24,12 +24,19 @@ reproduction of every table and figure in the paper's evaluation section.
 from repro.core.engine import OasisEngine
 from repro.core.oasis import OasisSearchStatistics, QueryExecution
 from repro.core.results import Alignment, SearchHit, SearchResult
+from repro.exec import (
+    BackendSpec,
+    ExecutionBackend,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+)
 from repro.parallel import BatchSearchExecutor, BatchSearchReport
 from repro.sequences.database import SequenceDatabase
 from repro.sequences.sequence import Sequence, SequenceRecord
 from repro.sharding import ShardCatalog, ShardedEngine, ShardedIndexBuilder
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "OasisEngine",
@@ -38,6 +45,11 @@ __all__ = [
     "Alignment",
     "SearchHit",
     "SearchResult",
+    "BackendSpec",
+    "ExecutionBackend",
+    "SerialBackend",
+    "ThreadBackend",
+    "ProcessBackend",
     "BatchSearchExecutor",
     "BatchSearchReport",
     "SequenceDatabase",

@@ -12,11 +12,14 @@ Sub-commands
     the concurrent batch executor (optionally with a per-query ``--timeout``).
     ``--shards N`` splits the database into N independently indexed shards
     searched scatter-gather; ``--index DIR`` reuses a persistent sharded
-    index built earlier instead of rebuilding anything.
+    index built earlier instead of rebuilding anything; ``--backend`` picks
+    the scatter strategy (``serial`` / ``threads:N`` / ``processes:N`` --
+    processes escape the GIL for CPU-bound search over a persistent index).
 ``index``
     Manage persistent sharded indexes: ``index build`` writes one disk image
-    per shard plus a self-describing catalog, ``index info`` prints a
-    catalog's layout.
+    per shard plus a self-describing catalog (``--backend threads:N`` /
+    ``processes:N`` fans the independent shard builds out), ``index info``
+    prints a catalog's layout.
 ``experiment``
     Run one of the paper's experiments (figure3 .. figure9, space) and print
     its table.
@@ -102,6 +105,14 @@ def _build_parser() -> argparse.ArgumentParser:
         type=float,
         help="per-query wall-clock budget in seconds (partial results are kept)",
     )
+    search.add_argument(
+        "--backend",
+        default=None,
+        metavar="SPEC",
+        help="scatter backend for sharded engines: serial, threads[:N] or "
+        "processes[:N] (processes escape the GIL for CPU-bound search but "
+        "need a persistent --index); requires --shards or --index",
+    )
 
     index = subparsers.add_parser("index", help="manage persistent sharded indexes")
     index_commands = index.add_subparsers(dest="index_command", required=True)
@@ -129,6 +140,13 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     index_build.add_argument(
         "--block-size", type=int, default=2048, help="disk-image block size in bytes"
+    )
+    index_build.add_argument(
+        "--backend",
+        default=None,
+        metavar="SPEC",
+        help="construction backend: serial (default), threads[:N] or "
+        "processes[:N] -- shard images are independent, so builds fan out",
     )
 
     index_info = index_commands.add_parser("info", help="describe a sharded index")
@@ -201,10 +219,23 @@ def _print_single_result(result) -> None:
         print("warning: time budget exhausted -- the hit list is partial")
 
 
+def _parse_backend_arg(spec: Optional[str]):
+    """Validate a --backend spec early, with an argparse-friendly error."""
+    if spec is None:
+        return None
+    from repro.exec import BackendSpec
+
+    try:
+        return BackendSpec.parse(spec)
+    except ValueError as error:
+        raise SystemExit(str(error))
+
+
 def _build_search_engine(args: argparse.Namespace):
     """Resolve --index / --shards / --database into a ready-to-search engine."""
     from repro.sharding import CatalogError, ShardedEngine
 
+    backend = _parse_backend_arg(args.backend)
     if args.index is not None:
         # A persistent catalog is authoritative for its own configuration:
         # only an *explicit* --matrix/--gap is checked against it, and the
@@ -214,7 +245,11 @@ def _build_search_engine(args: argparse.Namespace):
         database = read_fasta(args.database) if args.database is not None else None
         try:
             engine = ShardedEngine.open(
-                args.index, database=database, matrix=matrix, gap_model=gap_model
+                args.index,
+                database=database,
+                matrix=matrix,
+                gap_model=gap_model,
+                backend=backend,
             )
         except CatalogError as error:
             raise SystemExit(str(error))
@@ -232,13 +267,21 @@ def _build_search_engine(args: argparse.Namespace):
     database = read_fasta(args.database)
     matrix = load_matrix(args.matrix if args.matrix is not None else DEFAULT_MATRIX)
     gap_model = FixedGapModel(args.gap if args.gap is not None else DEFAULT_GAP)
-    if args.shards is not None and args.shards > 1:
+    # --backend implies a sharded engine even at --shards 1 (a valid,
+    # parity-tested layout), so the flag never dead-ends on a shard count
+    # the user explicitly supplied.
+    if args.shards is not None and (args.shards > 1 or backend is not None):
         try:
             return ShardedEngine.build(
-                database, matrix, gap_model, shard_count=args.shards
+                database, matrix, gap_model, shard_count=args.shards, backend=backend
             )
         except ValueError as error:
             raise SystemExit(str(error))
+    if backend is not None:
+        raise SystemExit(
+            "--backend selects the scatter strategy of a sharded engine; "
+            "combine it with --shards N or --index DIR"
+        )
     return OasisEngine.build(database, matrix=matrix, gap_model=gap_model)
 
 
@@ -311,6 +354,7 @@ def _command_index_build(args: argparse.Namespace) -> int:
         shard_count=args.shards,
         by=args.by,
         block_size=args.block_size,
+        backend=_parse_backend_arg(args.backend),
     )
     try:
         catalog = builder.build(database, args.output)

@@ -115,6 +115,7 @@ class OasisEngine:
         matrix: SubstitutionMatrix,
         gap_model: GapModel = FixedGapModel(-1),
         shard_count: int = 2,
+        backend=None,
         **kwargs,
     ):
         """Facade over :meth:`repro.sharding.ShardedEngine.build`.
@@ -122,20 +123,31 @@ class OasisEngine:
         Splits the database into ``shard_count`` balanced shards, indexes each
         independently, and returns a :class:`~repro.sharding.ShardedEngine`
         whose results are hit-for-hit identical to this engine's.
+        ``backend`` selects the scatter strategy (``"serial"`` /
+        ``"threads:N"``; process scatter needs a persistent index, see
+        :meth:`open_sharded`).
         """
         from repro.sharding.engine import ShardedEngine
 
         return ShardedEngine.build(
-            database, matrix, gap_model, shard_count=shard_count, **kwargs
+            database,
+            matrix,
+            gap_model,
+            shard_count=shard_count,
+            backend=backend,
+            **kwargs,
         )
 
     @staticmethod
-    def open_sharded(directory: PathLike, **kwargs):
+    def open_sharded(directory: PathLike, backend=None, **kwargs):
         """Facade over :meth:`repro.sharding.ShardedEngine.open`: reopen a
-        persistent sharded index directory from its catalog."""
+        persistent sharded index directory from its catalog.  ``backend``
+        selects the scatter strategy -- ``"serial"``, ``"threads:N"`` or
+        ``"processes:N"`` (worker processes open shard images from this
+        catalog and escape the GIL for CPU-bound search)."""
         from repro.sharding.engine import ShardedEngine
 
-        return ShardedEngine.open(directory, **kwargs)
+        return ShardedEngine.open(directory, backend=backend, **kwargs)
 
     # ------------------------------------------------------------------ #
     # Searching
@@ -239,15 +251,17 @@ class OasisEngine:
         max_results: Optional[int] = None,
         compute_alignments: bool = False,
         timeout: Optional[float] = None,
+        backend=None,
     ) -> "BatchSearchReport":
         """Run a batch of queries concurrently over the shared index.
 
-        Fans the queries out across ``workers`` threads (threads, not
-        processes: expansion is NumPy-bound and the index is shared) and
-        returns a :class:`~repro.parallel.BatchSearchReport` with per-query
-        results in input order plus aggregated statistics.  ``timeout`` is a
-        per-query wall-clock budget in seconds; a query exceeding it stops
-        early with the hits found so far and is flagged ``timed_out``.
+        Fans the queries out on an execution backend (``backend`` spec, or
+        ``workers`` threads by default -- threads, not processes: expansion
+        is NumPy-bound and the index is shared) and returns a
+        :class:`~repro.parallel.BatchSearchReport` with per-query results in
+        input order plus aggregated statistics.  ``timeout`` is a per-query
+        wall-clock budget in seconds; a query exceeding it stops early with
+        the hits found so far and is flagged ``timed_out``.
 
         For streaming consumption (results as they complete), use
         :class:`repro.parallel.BatchSearchExecutor` directly.
@@ -258,6 +272,7 @@ class OasisEngine:
             self,
             workers=workers,
             timeout=timeout,
+            backend=backend,
             min_score=min_score,
             evalue=evalue,
             max_results=max_results,

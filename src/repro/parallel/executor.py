@@ -8,26 +8,35 @@ suffix-tree cursor, yields ``(query, SearchResult)`` pairs as they complete,
 aggregates per-query statistics into a batch report, and supports per-query
 timeouts and early abort.
 
-Threads, not processes: the expansion inner loop is NumPy-bound and the index
-(potentially a disk-resident tree behind a buffer pool) must be shared, so
-thread-based fan-out is the only layout that avoids duplicating the index per
-worker.  Every query runs as its own self-contained
-:class:`~repro.core.oasis.QueryExecution`, so concurrent searches never touch
-each other's queues or statistics; cancellation and timeouts are cooperative
-(checked at every queue pop), which is what makes aborting a batch safe at
-any moment.
+The per-query fan-out runs on the pluggable execution-backend layer
+(:mod:`repro.exec`): ``serial`` for clean single-threaded timings,
+``threads:N`` (the default) for concurrent serving.  In-process backends
+only: the per-query runner closes over live engine state and the
+batch-wide cancellation event, neither of which crosses a process
+boundary, so a ``processes`` backend is rejected loudly here -- process
+parallelism lives one layer down, in the sharded engine's per-shard
+scatter (``ShardedEngine.open(..., backend="processes:N")``), where work
+ships as plain picklable tasks.  Every query runs as its own
+self-contained :class:`~repro.core.oasis.QueryExecution`, so concurrent
+searches never touch each other's queues or statistics; cancellation and
+timeouts are cooperative (checked at every queue pop), which is what makes
+aborting a batch safe at any moment.  One nuance when the queries run on a
+process-scatter engine: shard tasks the worker pool has not started are
+cancelled on abort, but an in-flight remote shard search cannot be
+interrupted cooperatively and runs to completion -- bound it with
+``timeout`` if abort latency matters.
 """
 
 from __future__ import annotations
 
 import threading
 import time
-from concurrent.futures import ThreadPoolExecutor, as_completed
 from dataclasses import dataclass, field
-from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple, Union
 
 from repro.core.oasis import OasisSearchStatistics
 from repro.core.results import SearchResult
+from repro.exec import BackendSpec, ExecutionBackend, resolve_backend
 
 #: Default fan-out width; matches the paper-era "handful of concurrent
 #: clients" and keeps the GIL contention of CPU-bound phases modest.
@@ -111,6 +120,8 @@ class BatchStatistics:
     #: Wall-clock time of the whole batch.
     wall_seconds: float = 0.0
     workers: int = 1
+    #: Spec of the execution backend the batch ran on (``"threads:4"`` ...).
+    backend: str = ""
     #: Per-shard aggregates, keyed by shard index (sharded engines only).
     shards: Dict[int, ShardAggregate] = field(default_factory=dict)
 
@@ -139,6 +150,7 @@ class BatchStatistics:
             "query_seconds": self.query_seconds,
             "wall_seconds": self.wall_seconds,
             "workers": self.workers,
+            "backend": self.backend,
             "throughput": self.throughput,
             "parallel_efficiency": self.parallel_efficiency,
             "shards": [
@@ -197,10 +209,16 @@ class BatchSearchReport:
 
     @classmethod
     def build(
-        cls, outcomes: List[BatchQueryOutcome], wall_seconds: float, workers: int
+        cls,
+        outcomes: List[BatchQueryOutcome],
+        wall_seconds: float,
+        workers: int,
+        backend: str = "",
     ) -> "BatchSearchReport":
         ordered = sorted(outcomes, key=lambda outcome: outcome.index)
-        statistics = BatchStatistics(wall_seconds=wall_seconds, workers=workers)
+        statistics = BatchStatistics(
+            wall_seconds=wall_seconds, workers=workers, backend=backend
+        )
         for outcome in ordered:
             statistics.queries += 1
             statistics.query_seconds += outcome.elapsed_seconds
@@ -237,9 +255,10 @@ class BatchSearchReport:
     def format_summary(self) -> str:
         """One-paragraph human-readable summary (used by the CLI)."""
         stats = self.statistics
+        backend = f", {stats.backend}" if stats.backend else ""
         parts = [
             f"{stats.queries} queries in {stats.wall_seconds:.3f}s "
-            f"({stats.throughput:.2f} q/s, {stats.workers} workers)",
+            f"({stats.throughput:.2f} q/s, {stats.workers} workers{backend})",
             f"{stats.total_hits} hits, {stats.columns_expanded} DP columns expanded",
         ]
         if stats.shards:
@@ -259,7 +278,7 @@ class BatchSearchReport:
 
 
 class BatchSearchExecutor:
-    """Fan a batch of queries across a thread pool over one shared index.
+    """Fan a batch of queries across an execution backend over one index.
 
     Parameters
     ----------
@@ -270,10 +289,20 @@ class BatchSearchExecutor:
         queries).  Use :meth:`for_engine` / :meth:`for_adapter` instead of
         building this callable by hand.
     workers:
-        Thread-pool width.
+        Fan-out width when ``backend`` does not name one.
     timeout:
         Optional per-query wall-clock budget in seconds, passed to every
         ``run_query`` call.
+    backend:
+        Execution backend for the per-query fan-out: a spec string
+        (``"serial"`` / ``"threads:N"``), a :class:`~repro.exec.BackendSpec`,
+        or a live :class:`~repro.exec.ExecutionBackend` (then shared across
+        runs and caller-owned).  Spec-described backends are created fresh
+        per run and closed afterwards, mirroring the historical
+        pool-per-run behaviour.  Defaults to ``threads:workers``.
+        In-process kinds only -- the runner closes over engine state and
+        the cancel event, which cannot cross processes; for process
+        parallelism use the sharded engine's scatter backend instead.
     """
 
     def __init__(
@@ -281,16 +310,56 @@ class BatchSearchExecutor:
         run_query: QueryRunner,
         workers: int = DEFAULT_WORKERS,
         timeout: Optional[float] = None,
+        backend: Union[str, BackendSpec, ExecutionBackend, None] = None,
     ):
         if workers < 1:
             raise ValueError("workers must be at least 1")
         if timeout is not None and timeout <= 0:
             raise ValueError("timeout must be positive")
         self._run_query = run_query
-        self.workers = int(workers)
         self.timeout = timeout
+        self._shared_backend: Optional[ExecutionBackend] = None
+        if isinstance(backend, ExecutionBackend):
+            self._shared_backend = backend
+            self._backend_spec = BackendSpec(backend.kind, backend.workers)
+        else:
+            if backend is None:
+                backend = BackendSpec("threads", int(workers))
+            elif isinstance(backend, str):
+                backend = BackendSpec.parse(backend)
+            self._backend_spec = backend
+        if self._backend_spec.kind == "processes":
+            raise ValueError(
+                "BatchSearchExecutor cannot fan queries out over processes: "
+                "the per-query runner closes over in-process engine state "
+                "and the batch cancel event.  Use a process scatter backend "
+                "on the sharded engine instead "
+                "(ShardedEngine.open(..., backend='processes:N'))"
+            )
+        if self._backend_spec.kind == "serial":
+            self.workers = 1
+        else:
+            self.workers = int(self._backend_spec.workers or workers)
         self._cancel = threading.Event()
         self._aborted = False
+
+    @property
+    def backend_spec(self) -> str:
+        """Declarative spec of the fan-out backend (recorded in reports)."""
+        if self._shared_backend is not None:
+            return self._shared_backend.spec
+        if self._backend_spec.kind == "serial":
+            return "serial"
+        return f"{self._backend_spec.kind}:{self.workers}"
+
+    def _acquire_backend(self) -> Tuple[ExecutionBackend, bool]:
+        """The backend for one run plus whether this run must close it."""
+        if self._shared_backend is not None:
+            return self._shared_backend, False
+        backend, _ = resolve_backend(
+            self._backend_spec, default_workers=self.workers
+        )
+        return backend, True
 
     # ------------------------------------------------------------------ #
     # Factories
@@ -301,6 +370,7 @@ class BatchSearchExecutor:
         engine,
         workers: int = DEFAULT_WORKERS,
         timeout: Optional[float] = None,
+        backend: Union[str, BackendSpec, ExecutionBackend, None] = None,
         **search_kwargs,
     ) -> "BatchSearchExecutor":
         """Executor over an :class:`~repro.core.engine.OasisEngine`.
@@ -321,7 +391,7 @@ class BatchSearchExecutor:
                 **search_kwargs,
             ).result()
 
-        return cls(run_query, workers=workers, timeout=timeout)
+        return cls(run_query, workers=workers, timeout=timeout, backend=backend)
 
     @classmethod
     def for_adapter(
@@ -329,6 +399,7 @@ class BatchSearchExecutor:
         adapter,
         workers: int = DEFAULT_WORKERS,
         timeout: Optional[float] = None,
+        backend: Union[str, BackendSpec, ExecutionBackend, None] = None,
     ) -> "BatchSearchExecutor":
         """Executor over a workload :class:`~repro.workloads.engines.EngineAdapter`."""
 
@@ -341,7 +412,7 @@ class BatchSearchExecutor:
                 query, time_budget=time_budget, cancel_event=cancel_event
             )
 
-        return cls(run_query, workers=workers, timeout=timeout)
+        return cls(run_query, workers=workers, timeout=timeout, backend=backend)
 
     # ------------------------------------------------------------------ #
     # Running
@@ -379,24 +450,22 @@ class BatchSearchExecutor:
             # Fresh cancellation scope per run, so a previous run abandoned
             # mid-stream does not poison the next one.
             self._cancel = threading.Event()
-        with ThreadPoolExecutor(
-            max_workers=self.workers, thread_name_prefix="oasis-batch"
-        ) as pool:
-            futures = [
-                pool.submit(self._execute_one, index, query)
-                for index, query in enumerate(query_list)
-            ]
-            try:
-                for future in as_completed(futures):
-                    yield future.result()
-            finally:
-                pending = [future for future in futures if not future.done()]
-                if pending:
-                    # The consumer abandoned the stream (or raised): abort the
-                    # remaining work before the pool shutdown blocks on it.
-                    self._cancel.set()
-                    for future in pending:
-                        future.cancel()
+        backend, owned = self._acquire_backend()
+        stream = backend.map_unordered(self._execute_task, list(enumerate(query_list)))
+        completed = 0
+        try:
+            for outcome in stream:
+                completed += 1
+                yield outcome
+        finally:
+            if completed < len(query_list):
+                # The consumer abandoned the stream (or a task raised):
+                # stop in-flight queries cooperatively, then let the stream's
+                # own cleanup cancel tasks that never started.
+                self._cancel.set()
+            stream.close()
+            if owned:
+                backend.close()
 
     def run(self, queries: Iterable[str]) -> BatchSearchReport:
         """Run the whole batch and collect a report (input-order outcomes).
@@ -409,11 +478,19 @@ class BatchSearchExecutor:
         start = time.perf_counter()
         outcomes = list(self.run_iter(queries))
         wall_seconds = time.perf_counter() - start
-        return BatchSearchReport.build(outcomes, wall_seconds=wall_seconds, workers=self.workers)
+        return BatchSearchReport.build(
+            outcomes,
+            wall_seconds=wall_seconds,
+            workers=self.workers,
+            backend=self.backend_spec,
+        )
 
     # ------------------------------------------------------------------ #
     # Internals
     # ------------------------------------------------------------------ #
+    def _execute_task(self, task: Tuple[int, str]) -> BatchQueryOutcome:
+        return self._execute_one(*task)
+
     def _execute_one(self, index: int, query: str) -> BatchQueryOutcome:
         if self._aborted or self._cancel.is_set():
             return BatchQueryOutcome(index=index, query=query, aborted=True)
@@ -438,4 +515,4 @@ class BatchSearchExecutor:
 
     def __repr__(self) -> str:
         timeout = f", timeout={self.timeout}" if self.timeout is not None else ""
-        return f"BatchSearchExecutor(workers={self.workers}{timeout})"
+        return f"BatchSearchExecutor(backend={self.backend_spec!r}{timeout})"

@@ -26,17 +26,24 @@ from repro.sharding.catalog import (
     config_fingerprint,
     database_digest,
 )
-from repro.sharding.engine import ShardedEngine, ShardedQueryExecution
+from repro.sharding.engine import (
+    ShardedEngine,
+    ShardedQueryExecution,
+    shard_pool_budgets,
+)
 from repro.sharding.planner import ShardPlan, ShardPlanner, ShardSpec
+from repro.sharding.remote import ShardBuildTask, ShardSearchTask
 
 __all__ = [
     "CATALOG_FILENAME",
     "CatalogError",
     "CatalogMismatchError",
+    "ShardBuildTask",
     "ShardCatalog",
     "ShardEntry",
     "ShardPlan",
     "ShardPlanner",
+    "ShardSearchTask",
     "ShardSpec",
     "ShardedEngine",
     "ShardedIndexBuilder",
@@ -44,4 +51,5 @@ __all__ = [
     "build_sharded_index",
     "config_fingerprint",
     "database_digest",
+    "shard_pool_budgets",
 ]

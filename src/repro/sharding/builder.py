@@ -15,6 +15,7 @@ from __future__ import annotations
 import os
 from typing import Optional, Union
 
+from repro.exec import BackendSpec, ExecutionBackend, resolve_backend
 from repro.scoring.gaps import FixedGapModel, GapModel
 from repro.scoring.matrix import SubstitutionMatrix
 from repro.sequences.database import SequenceDatabase
@@ -27,9 +28,8 @@ from repro.sharding.catalog import (
     database_digest,
 )
 from repro.sharding.planner import ShardPlanner
+from repro.sharding.remote import ShardBuildTask, run_shard_build
 from repro.storage.blocks import BLOCK_SIZE_DEFAULT
-from repro.storage.builder import build_disk_image
-from repro.suffixtree.partitioned import PartitionedTreeBuilder
 
 PathLike = Union[str, os.PathLike]
 
@@ -50,6 +50,16 @@ class ShardedIndexBuilder:
         Disk-image block size (every shard uses the same one).
     max_partition_size:
         Partition budget of the Hunt-et-al. construction used per shard.
+    backend:
+        Execution backend for the per-shard builds -- a spec string
+        (``"serial"``, ``"threads:N"``, ``"processes:N"``), a
+        :class:`~repro.exec.BackendSpec`, or a live
+        :class:`~repro.exec.ExecutionBackend` (then caller-owned).  Shard
+        images are independent, so construction fans out cleanly: threads
+        overlap the image writing, processes escape the GIL for the
+        CPU-bound tree building.  Defaults to serial.  The images are
+        byte-identical whichever backend built them (every backend runs the
+        same per-shard task), so the choice never affects the index.
     """
 
     def __init__(
@@ -60,12 +70,14 @@ class ShardedIndexBuilder:
         by: str = "residues",
         block_size: int = BLOCK_SIZE_DEFAULT,
         max_partition_size: int = 50_000,
+        backend: Union[str, BackendSpec, ExecutionBackend, None] = None,
     ):
         self.matrix = matrix
         self.gap_model = gap_model
         self.planner = ShardPlanner(shard_count, by=by)
         self.block_size = int(block_size)
         self.max_partition_size = int(max_partition_size)
+        self.backend = backend
 
     def build(
         self,
@@ -78,22 +90,27 @@ class ShardedIndexBuilder:
         The directory is created if needed.  Returns the written catalog.
         Set ``write_database=False`` to skip the FASTA copy (the caller then
         has to supply the identical database when reopening).
+
+        Shard builds run through the configured backend; the catalog is
+        written only after every image exists, and its entries are in shard
+        order regardless of the order the builds finished in.
         """
         directory = str(directory)
         os.makedirs(directory, exist_ok=True)
         plan = self.planner.plan(database)
 
+        tasks = []
         entries = []
         for spec in plan.specs:
-            sub_database = plan.slice_database(database, spec)
-            tree = PartitionedTreeBuilder(
-                max_partition_size=self.max_partition_size
-            ).build(sub_database)
             image_name = f"{spec.identifier()}.oasis"
-            build_disk_image(
-                tree,
-                os.path.join(directory, image_name),
-                block_size=self.block_size,
+            tasks.append(
+                ShardBuildTask(
+                    directory=directory,
+                    image_name=image_name,
+                    sub_database=plan.slice_database(database, spec),
+                    block_size=self.block_size,
+                    max_partition_size=self.max_partition_size,
+                )
             )
             entries.append(
                 ShardEntry(
@@ -104,6 +121,27 @@ class ShardedIndexBuilder:
                     residues=spec.residues,
                 )
             )
+
+        backend, owned = resolve_backend(
+            self.backend, default="serial", default_workers=len(tasks)
+        )
+        futures = []
+        try:
+            # Submit everything up front, then gather in shard order: the
+            # backend decides the concurrency, the catalog order stays
+            # deterministic either way.
+            futures = [backend.submit(run_shard_build, task) for task in tasks]
+            for future in futures:
+                future.result()
+        finally:
+            # On failure, stop sibling builds that have not started instead
+            # of paying for shard images the raised error already orphaned
+            # (in-flight builds still finish; no-op on success).
+            for future in futures:
+                if not future.done():
+                    future.cancel()
+            if owned:
+                backend.close()
 
         catalog = ShardCatalog(
             database_name=database.name,
@@ -131,6 +169,7 @@ def build_sharded_index(
     by: str = "residues",
     block_size: int = BLOCK_SIZE_DEFAULT,
     max_partition_size: Optional[int] = None,
+    backend: Union[str, BackendSpec, ExecutionBackend, None] = None,
 ) -> ShardCatalog:
     """Functional one-shot wrapper around :class:`ShardedIndexBuilder`."""
     builder = ShardedIndexBuilder(
@@ -139,6 +178,7 @@ def build_sharded_index(
         shard_count=shard_count,
         by=by,
         block_size=block_size,
+        backend=backend,
         **({"max_partition_size": max_partition_size} if max_partition_size else {}),
     )
     return builder.build(database, directory)

@@ -31,19 +31,26 @@ import os
 import threading
 import time
 from bisect import bisect_right
-from concurrent.futures import ThreadPoolExecutor
+from concurrent.futures import BrokenExecutor
+from concurrent.futures import wait as futures_wait
 from typing import TYPE_CHECKING, Iterable, Iterator, List, Optional, Union
 
 from repro.core.engine import OasisEngine
 from repro.core.evalue import SelectivityConverter
 from repro.core.oasis import OasisSearchStatistics, QueryExecution
 from repro.core.results import SearchHit, SearchResult, hit_order_key
+from repro.exec import BackendSpec, ExecutionBackend, resolve_backend
 from repro.scoring.gaps import FixedGapModel, GapModel
 from repro.scoring.matrix import SubstitutionMatrix
 from repro.sequences.database import SequenceDatabase
 from repro.sharding.builder import ShardedIndexBuilder
 from repro.sharding.catalog import ShardCatalog, config_fingerprint
 from repro.sharding.planner import ShardPlanner, ShardSpec, slice_shard
+from repro.sharding.remote import (
+    ShardSearchTask,
+    run_shard_search,
+    unpack_alignment,
+)
 from repro.storage.blocks import BLOCK_SIZE_DEFAULT
 from repro.storage.disk_tree import DEFAULT_BUFFER_POOL_BYTES, DiskSuffixTree
 from repro.suffixtree.generalized import GeneralizedSuffixTree
@@ -267,6 +274,54 @@ class ShardedQueryExecution:
         )
 
 
+#: Raised whenever a process scatter backend meets an engine with no catalog.
+_PROCESS_NEEDS_CATALOG = (
+    "a process scatter backend needs a persistent sharded index: "
+    "worker processes open shard images from the catalog, which "
+    "an in-memory engine does not have -- build one with "
+    "ShardedIndexBuilder / build_on_disk and use ShardedEngine.open"
+)
+
+
+def _backend_kind(backend: "Union[str, BackendSpec, ExecutionBackend, None]") -> Optional[str]:
+    """The kind a backend description resolves to, without creating anything."""
+    if backend is None:
+        return None
+    if isinstance(backend, str):
+        backend = BackendSpec.parse(backend)
+    return backend.kind
+
+
+def shard_pool_budgets(
+    total_bytes: int, shard_residues: List[int], block_size: int
+) -> List[int]:
+    """Split one buffer-pool budget across shards, proportionally to size.
+
+    Each shard gets a share of ``total_bytes`` proportional to its residue
+    count (the catalog records them): index bytes and page working sets both
+    scale with residues, so proportional shares keep every shard's hit ratio
+    in the same regime where an even split would starve the big shards.
+    Every shard is floored at one frame (``block_size`` bytes) -- a pool
+    smaller than one block cannot hold a single page, so with a tiny total
+    budget the floor deliberately oversubscribes rather than handing any
+    shard a zero-frame pool.
+    """
+    if block_size < 1:
+        raise ValueError("block_size must be positive")
+    if not shard_residues:
+        raise ValueError("at least one shard is required")
+    total_residues = sum(shard_residues)
+    if total_residues <= 0:
+        # Degenerate catalog (cannot happen for real indexes; every shard
+        # holds at least one non-empty sequence): fall back to an even split.
+        even = total_bytes // len(shard_residues)
+        return [max(block_size, even)] * len(shard_residues)
+    return [
+        max(block_size, total_bytes * residues // total_residues)
+        for residues in shard_residues
+    ]
+
+
 class ShardedEngine:
     """Scatter-gather OASIS search over N per-shard indexes.
 
@@ -276,6 +331,21 @@ class ShardedEngine:
     surface (``search`` / ``search_online`` / ``search_many`` / ``execute``),
     so every consumer of an engine -- the batch executor, the workload
     adapters, the CLI -- can run sharded without changes.
+
+    ``backend`` selects the scatter strategy for :meth:`search` /
+    :meth:`ShardedQueryExecution.result`: a spec string (``"serial"``,
+    ``"threads:N"``, ``"processes:N"``), a
+    :class:`~repro.exec.BackendSpec`, or a live
+    :class:`~repro.exec.ExecutionBackend` (then caller-owned).  The default
+    is a thread pool of ``workers`` threads -- right for disk-resident
+    shards, whose miss stalls overlap.  A process backend escapes the GIL
+    for CPU-bound (fully cached / in-memory regime) scatter: workers are
+    shipped only ``(catalog directory, shard id, query, parameters)``, each
+    worker process lazily opens its shard image read-only from the catalog,
+    and raw hit tuples travel back for the parent to remap to global
+    E-values and sequence indices.  It therefore requires a persistent
+    index (a catalog directory); the streaming path
+    (:meth:`search_online`) always runs in-process regardless of backend.
     """
 
     def __init__(
@@ -288,6 +358,10 @@ class ShardedEngine:
         catalog: Optional[ShardCatalog] = None,
         directory: Optional[str] = None,
         workers: Optional[int] = None,
+        backend: Union[str, BackendSpec, ExecutionBackend, None] = None,
+        shard_buffer_bytes: Optional[List[int]] = None,
+        simulated_miss_latency: float = 0.0,
+        sleep_on_miss: bool = False,
     ):
         if not shards:
             raise ValueError("a ShardedEngine needs at least one shard")
@@ -301,10 +375,24 @@ class ShardedEngine:
         self.workers = int(workers) if workers is not None else len(self.shards)
         if self.workers < 1:
             raise ValueError("workers must be at least 1")
+        self._backend, self._backend_owned = resolve_backend(
+            backend, default=f"threads:{self.workers}", default_workers=self.workers
+        )
+        if self._backend.kind == "processes" and self.directory is None:
+            if self._backend_owned:
+                self._backend.close()
+            raise ValueError(_PROCESS_NEEDS_CATALOG)
+        #: Per-shard buffer-pool budgets in bytes (persistent engines only).
+        #: Process workers open their shard with the same budget, latency
+        #: and sleep flag the parent gave that shard, so worker-side pools
+        #: and I/O simulation match the parent's cursors.
+        self.shard_buffer_bytes = (
+            list(shard_buffer_bytes) if shard_buffer_bytes is not None else None
+        )
+        self.simulated_miss_latency = float(simulated_miss_latency)
+        self.sleep_on_miss = bool(sleep_on_miss)
         #: Global sequence index of each shard's first sequence.
         self._offsets = self._compute_offsets()
-        self._pool: Optional[ThreadPoolExecutor] = None
-        self._pool_lock = threading.Lock()
         self._closed = False
 
     def _compute_offsets(self) -> List[int]:
@@ -328,8 +416,18 @@ class ShardedEngine:
         shard_count: int = 2,
         by: str = "residues",
         workers: Optional[int] = None,
+        backend: Union[str, BackendSpec, ExecutionBackend, None] = None,
     ) -> "ShardedEngine":
-        """Split the database and build one in-memory index per shard."""
+        """Split the database and build one in-memory index per shard.
+
+        ``backend`` only accepts in-process kinds here (``serial`` /
+        ``threads``): process scatter needs a catalog directory for its
+        workers to open.
+        """
+        if _backend_kind(backend) == "processes":
+            # Reject before the expensive per-shard tree construction; the
+            # engine constructor would raise the same error afterwards.
+            raise ValueError(_PROCESS_NEEDS_CATALOG)
         plan = ShardPlanner(shard_count, by=by).plan(database)
         converter = SelectivityConverter(
             matrix, database, effective_database_size=database.total_symbols
@@ -350,6 +448,7 @@ class ShardedEngine:
             gap_model,
             converter=converter,
             workers=workers,
+            backend=backend,
         )
 
     @classmethod
@@ -363,15 +462,22 @@ class ShardedEngine:
         by: str = "residues",
         block_size: int = BLOCK_SIZE_DEFAULT,
         workers: Optional[int] = None,
+        build_backend: Union[str, BackendSpec, ExecutionBackend, None] = None,
         **open_kwargs,
     ) -> "ShardedEngine":
-        """Build a persistent sharded index directory and open it."""
+        """Build a persistent sharded index directory and open it.
+
+        ``build_backend`` fans the per-shard construction out (each shard
+        image is independent); ``backend`` in ``open_kwargs`` selects the
+        scatter strategy of the returned engine.
+        """
         ShardedIndexBuilder(
             matrix,
             gap_model,
             shard_count=shard_count,
             by=by,
             block_size=block_size,
+            backend=build_backend,
         ).build(database, directory)
         return cls.open(
             directory,
@@ -393,6 +499,7 @@ class ShardedEngine:
         simulated_miss_latency: float = 0.0,
         sleep_on_miss: bool = False,
         workers: Optional[int] = None,
+        backend: Union[str, BackendSpec, ExecutionBackend, None] = None,
     ) -> "ShardedEngine":
         """Open a persistent sharded index from its catalog.
 
@@ -402,8 +509,12 @@ class ShardedEngine:
         they must match what the index was built with --
         :class:`~repro.sharding.catalog.CatalogMismatchError` otherwise.
 
-        ``buffer_pool_bytes`` is the total budget, split evenly across the
-        shard buffer pools (per-shard budgeting is a roadmap item).
+        ``buffer_pool_bytes`` is the total budget, divided across the shard
+        buffer pools proportionally to each shard's catalog-recorded residue
+        count (a shard's index size and page working set both scale with its
+        residues, so an even split starves big shards while small ones idle),
+        with a floor of one frame (``block_size`` bytes) per shard so no pool
+        ever rounds down to zero frames.
         """
         from repro.scoring.data import load_matrix
         from repro.sequences.fasta import read_fasta
@@ -424,15 +535,31 @@ class ShardedEngine:
             database = read_fasta(database_path, name=catalog.database_name)
         catalog.check_database(database)
 
+        if _backend_kind(backend) == "processes" and not os.path.exists(
+            catalog.database_path(directory)
+        ):
+            # Fail at open, not on every query: worker processes restore the
+            # sequences from the bundled FASTA, which an index built with
+            # write_database=False does not carry.
+            raise ValueError(
+                "a process scatter backend needs a self-contained index "
+                "directory, but this one has no bundled database.fasta "
+                "(built with write_database=False) for the worker processes "
+                "to load -- rebuild with the FASTA included or open with an "
+                "in-process backend (serial / threads:N)"
+            )
+
         converter = SelectivityConverter(
             matrix, database, effective_database_size=database.total_symbols
         )
-        per_shard_pool = max(
-            catalog.block_size, buffer_pool_bytes // max(1, catalog.shard_count)
+        shard_budgets = shard_pool_budgets(
+            buffer_pool_bytes,
+            [entry.residues for entry in catalog.shards],
+            catalog.block_size,
         )
         shards: List[OasisEngine] = []
         try:
-            for entry in catalog.shards:
+            for entry, shard_budget in zip(catalog.shards, shard_budgets):
                 sub_database = slice_shard(
                     database,
                     ShardSpec(
@@ -445,25 +572,30 @@ class ShardedEngine:
                 cursor = DiskSuffixTree(
                     catalog.shard_image_path(directory, entry),
                     sub_database,
-                    buffer_pool_bytes=per_shard_pool,
+                    buffer_pool_bytes=shard_budget,
                     simulated_miss_latency=simulated_miss_latency,
                     sleep_on_miss=sleep_on_miss,
                 )
                 shards.append(OasisEngine(cursor, matrix, gap_model, converter=converter))
+            engine = cls(
+                shards,
+                database,
+                matrix,
+                gap_model,
+                converter=converter,
+                catalog=catalog,
+                directory=directory,
+                workers=workers,
+                backend=backend,
+                shard_buffer_bytes=shard_budgets,
+                simulated_miss_latency=simulated_miss_latency,
+                sleep_on_miss=sleep_on_miss,
+            )
         except Exception:
             for shard in shards:
                 shard.cursor.close()  # type: ignore[attr-defined]
             raise
-        return cls(
-            shards,
-            database,
-            matrix,
-            gap_model,
-            converter=converter,
-            catalog=catalog,
-            directory=directory,
-            workers=workers,
-        )
+        return engine
 
     # ------------------------------------------------------------------ #
     # Introspection
@@ -569,10 +701,12 @@ class ShardedEngine:
         max_results: Optional[int] = None,
         compute_alignments: bool = False,
         timeout: Optional[float] = None,
+        backend: Union[str, BackendSpec, ExecutionBackend, None] = None,
     ) -> "BatchSearchReport":
-        """Concurrent batch search: queries fan out over a thread pool, and
-        each query in turn fans out across the shards on the shared shard
-        pool.  The report carries per-shard aggregates
+        """Concurrent batch search: queries fan out over the batch backend
+        (``backend`` spec, or ``workers`` threads by default) and each query
+        in turn scatters across the shards on the engine's own scatter
+        backend.  The report carries per-shard aggregates
         (``report.statistics.shards``)."""
         from repro.parallel.executor import BatchSearchExecutor
 
@@ -580,6 +714,7 @@ class ShardedEngine:
             self,
             workers=workers,
             timeout=timeout,
+            backend=backend,
             min_score=min_score,
             evalue=evalue,
             max_results=max_results,
@@ -588,40 +723,175 @@ class ShardedEngine:
         return executor.run(queries)
 
     # ------------------------------------------------------------------ #
-    # Shard pool
+    # Scatter backend
     # ------------------------------------------------------------------ #
+    @property
+    def backend_spec(self) -> str:
+        """Declarative spec of the scatter backend (``"threads:4"`` etc.)."""
+        return self._backend.spec
+
     def _scatter(self, executions: List[QueryExecution]) -> List[SearchResult]:
-        """Run per-shard executions concurrently on the shared shard pool."""
+        """Run per-shard executions concurrently on the scatter backend."""
+        if self._closed:
+            # A closed engine must not run searches over closed shard
+            # cursors (or silently resurrect a backend it already shut).
+            raise RuntimeError("ShardedEngine is closed")
+        if self._backend.kind == "processes":
+            # Always take the remote path, even for one shard, so a process
+            # engine exercises exactly one code path (and its parity is
+            # testable at every shard count).
+            return self._scatter_processes(executions)
         if len(executions) == 1:
             return [executions[0].result()]
-        pool = self._shard_pool()
-        futures = [pool.submit(execution.result) for execution in executions]
+        futures = [
+            self._backend.submit(execution.result) for execution in executions
+        ]
         return [future.result() for future in futures]
 
-    def _shard_pool(self) -> ThreadPoolExecutor:
-        with self._pool_lock:
-            if self._closed:
-                # Recreating the pool here would leak an unstoppable executor
-                # searching already-closed shard cursors.
-                raise RuntimeError("ShardedEngine is closed")
-            if self._pool is None:
-                self._pool = ThreadPoolExecutor(
-                    max_workers=self.workers, thread_name_prefix="oasis-shard"
+    def _scatter_processes(self, executions: List[QueryExecution]) -> List[SearchResult]:
+        """Ship each shard's share of the query to a worker process.
+
+        Workers receive only ``(catalog directory, shard id, query,
+        parameters)`` and return plain hit tuples; the parent adopts each
+        payload into the local :class:`QueryExecution` it already created
+        (statistics, flags) and rebuilds hits with global E-values, so the
+        merge in :meth:`ShardedQueryExecution.result` is oblivious to how
+        the shard results were produced.
+
+        The query's pinned monotonic deadline is translated into one
+        absolute wall-clock (``time.time()``) deadline shared by every
+        shard task: the wall clock crosses process boundaries, so a task
+        that queued behind others sees only the time actually left -- the
+        budget stays a true per-query wall clock, exactly as on the
+        in-process paths.  Cancellation (batch abort, abandoned stream) is
+        honoured for shard tasks that have not started; an in-flight remote
+        search cannot be interrupted cooperatively and runs to completion
+        (bound it with a time budget).
+        """
+        first = executions[0]
+        deadline_epoch: Optional[float] = None
+        if first._deadline is not None:
+            deadline_epoch = time.time() + (first._deadline - time.perf_counter())
+        tasks = [
+            ShardSearchTask(
+                directory=str(self.directory),
+                shard_index=shard_index,
+                query=first.query,
+                min_score=first.min_score,
+                max_results=first.max_results,
+                compute_alignments=first.compute_alignments,
+                deadline_epoch=deadline_epoch,
+                buffer_pool_bytes=(
+                    self.shard_buffer_bytes[shard_index]
+                    if self.shard_buffer_bytes is not None
+                    else DEFAULT_BUFFER_POOL_BYTES
+                ),
+                simulated_miss_latency=self.simulated_miss_latency,
+                sleep_on_miss=self.sleep_on_miss,
+                fingerprint=(
+                    self.catalog.fingerprint if self.catalog is not None else None
+                ),
+                database_digest=(
+                    self.catalog.database_digest if self.catalog is not None else ""
+                ),
+            )
+            for shard_index in range(len(executions))
+        ]
+        futures = [self._backend.submit(run_shard_search, task) for task in tasks]
+        cancel = first._cancel_event
+        if cancel is not None:
+            # Poll instead of blocking outright, so a batch abort can still
+            # cancel the shard tasks the pool has not started yet.
+            pending = set(futures)
+            while pending:
+                done, pending = futures_wait(pending, timeout=0.05)
+                if pending and cancel.is_set():
+                    for future in pending:
+                        future.cancel()
+                    break
+        results = []
+        try:
+            for execution, future in zip(executions, futures):
+                if future.cancelled():
+                    execution.aborted = True
+                    results.append(
+                        SearchResult(
+                            query=execution.query.upper(),
+                            engine="oasis",
+                            hits=[],
+                            statistics=execution.statistics,
+                        )
+                    )
+                else:
+                    results.append(
+                        self._adopt_remote_payload(execution, future.result())
+                    )
+        except BrokenExecutor:
+            # A dead worker breaks the whole pool: replace it before
+            # propagating, so one crash fails one query (a per-query error
+            # in a batch report), not every query for the engine's life.
+            reset = getattr(self._backend, "reset", None)
+            if reset is not None:
+                reset()
+            raise
+        return results
+
+    def _adopt_remote_payload(
+        self, execution: QueryExecution, payload: dict
+    ) -> SearchResult:
+        """Fold a worker's plain-data payload into the local execution.
+
+        The worker searched with a bare threshold and no converter; the
+        parent owns the global E-value model, so every raw score is
+        annotated here exactly as the in-process path would have
+        (same statistics model, same query length, same global database
+        size -- bit-identical floats on the same machine).
+        """
+        statistics = execution.statistics
+        for field, value in payload["statistics"].items():
+            setattr(statistics, field, value)
+        execution.timed_out = bool(payload["timed_out"])
+        execution.aborted = bool(payload["aborted"])
+        query_length = len(execution.query_sequence.codes)
+        hits = []
+        for local_index, identifier, score, packed_alignment in payload["hits"]:
+            evalue = None
+            if execution.statistics_model is not None:
+                evalue = execution.statistics_model.evalue(
+                    score, query_length, execution.database_size
                 )
-            return self._pool
+            hits.append(
+                SearchHit(
+                    sequence_index=local_index,
+                    sequence_identifier=identifier,
+                    score=score,
+                    evalue=evalue,
+                    alignment=unpack_alignment(packed_alignment),
+                )
+            )
+        return SearchResult(
+            query=execution.query.upper(),
+            engine="oasis",
+            hits=hits,
+            elapsed_seconds=statistics.elapsed_seconds,
+            columns_expanded=statistics.columns_expanded,
+            statistics=statistics,
+        )
 
     # ------------------------------------------------------------------ #
     # Lifecycle
     # ------------------------------------------------------------------ #
     def close(self) -> None:
-        """Shut the shard pool down and close disk-resident shard cursors."""
+        """Shut the scatter backend down and close disk-resident cursors.
+
+        Backends the engine created from a spec are closed here; a live
+        backend passed in by the caller is left running (they own it).
+        """
         if self._closed:
             return
         self._closed = True
-        with self._pool_lock:
-            if self._pool is not None:
-                self._pool.shutdown(wait=True)
-                self._pool = None
+        if self._backend_owned:
+            self._backend.close()
         for shard in self.shards:
             close = getattr(shard.cursor, "close", None)
             if close is not None:
@@ -637,5 +907,5 @@ class ShardedEngine:
         source = f", directory={self.directory!r}" if self.directory else ""
         return (
             f"ShardedEngine(database={self._database.name!r}, "
-            f"shards={self.shard_count}, workers={self.workers}{source})"
+            f"shards={self.shard_count}, backend={self.backend_spec!r}{source})"
         )

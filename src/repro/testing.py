@@ -44,6 +44,39 @@ def smoke_mode() -> bool:
     return os.environ.get("OASIS_BENCH_SMOKE", "") == "1"
 
 
+def bench_backend(default: str) -> str:
+    """The scatter-backend spec the benchmarks run with.
+
+    ``OASIS_BACKEND`` overrides it (e.g. ``processes``, ``processes:2``,
+    ``serial``), which is how CI exercises the process-scatter path on every
+    push without duplicating benchmark code.
+    """
+    import os
+
+    return os.environ.get("OASIS_BACKEND", "").strip() or default
+
+
+# --------------------------------------------------------------------- #
+# Picklable task functions for exercising the process execution backend.
+# They live here (not in a test module) because spawned worker processes
+# re-import tasks by qualified name, and only installed/PYTHONPATH modules
+# are importable from a worker -- test modules are not.
+# --------------------------------------------------------------------- #
+def proc_square(value):
+    return value * value
+
+
+def proc_raise_value_error(value):
+    raise ValueError(f"boom {value}")
+
+
+def proc_kill_worker(value):
+    """Hard-crash the worker process, bypassing all exception handling."""
+    import os
+
+    os._exit(13)
+
+
 def random_protein(rng: random.Random, length: int) -> str:
     return "".join(rng.choice(AMINO_ACIDS) for _ in range(length))
 

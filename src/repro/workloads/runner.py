@@ -101,8 +101,10 @@ class WorkloadRunner:
     All execution goes through the batch executor: ``workers=1`` (the
     default, and what the paper's per-figure experiments need for clean
     timings) runs the queries serially, larger values fan each engine's
-    queries out across a thread pool over its shared index.  The per-query
-    results are identical either way; only the wall-clock time changes.
+    queries out across a thread pool over its shared index.  ``backend``
+    overrides the fan-out strategy declaratively (``"serial"`` /
+    ``"threads:N"``; see :mod:`repro.exec`).  The per-query results are
+    identical whichever way the workload runs; only wall-clock changes.
     """
 
     def __init__(
@@ -111,6 +113,7 @@ class WorkloadRunner:
         keep_results: bool = False,
         workers: int = 1,
         timeout: Optional[float] = None,
+        backend=None,
     ):
         if not engines:
             raise ValueError("at least one engine adapter is required")
@@ -123,6 +126,7 @@ class WorkloadRunner:
         self.keep_results = keep_results
         self.workers = int(workers)
         self.timeout = timeout
+        self.backend = backend
 
     def run(self, workload: Iterable) -> WorkloadRunSummary:
         """Execute every query of the workload on every engine."""
@@ -134,7 +138,10 @@ class WorkloadRunner:
         reports = summary.reports
         for engine in self.engines:
             executor = BatchSearchExecutor.for_adapter(
-                engine, workers=self.workers, timeout=self.timeout
+                engine,
+                workers=self.workers,
+                timeout=self.timeout,
+                backend=self.backend,
             )
             report = executor.run(texts)
             report.raise_first_error()

@@ -208,6 +208,105 @@ class TestShardedSearch:
             )
 
 
+class TestBackendFlag:
+    def test_sharded_search_accepts_thread_backend(self, generated_files, capsys):
+        fasta, queries = generated_files
+        code = main(
+            [
+                "search",
+                "--database",
+                str(fasta),
+                "--queries",
+                str(queries),
+                "--shards",
+                "2",
+                "--backend",
+                "threads:2",
+                "--min-score",
+                "15",
+            ]
+        )
+        assert code == 0
+        assert "queries in" in capsys.readouterr().out
+
+    def test_backend_with_single_shard_builds_sharded_engine(
+        self, generated_files, capsys
+    ):
+        fasta, queries = generated_files
+        code = main(
+            [
+                "search",
+                "--database",
+                str(fasta),
+                "--queries",
+                str(queries),
+                "--shards",
+                "1",
+                "--backend",
+                "serial",
+                "--min-score",
+                "15",
+            ]
+        )
+        assert code == 0
+        assert "1 shards" in capsys.readouterr().out
+
+    def test_backend_without_shards_is_a_clean_error(self, generated_files):
+        fasta, _ = generated_files
+        with pytest.raises(SystemExit, match="--shards N or --index"):
+            main(
+                [
+                    "search",
+                    "--database",
+                    str(fasta),
+                    "--query",
+                    "MKV",
+                    "--backend",
+                    "threads:2",
+                    "--min-score",
+                    "15",
+                ]
+            )
+
+    def test_unknown_backend_is_a_clean_error(self, generated_files):
+        fasta, _ = generated_files
+        with pytest.raises(SystemExit, match="unknown backend"):
+            main(
+                [
+                    "search",
+                    "--database",
+                    str(fasta),
+                    "--query",
+                    "MKV",
+                    "--shards",
+                    "2",
+                    "--backend",
+                    "fibers:9",
+                    "--min-score",
+                    "15",
+                ]
+            )
+
+    def test_process_backend_needs_persistent_index(self, generated_files):
+        fasta, _ = generated_files
+        with pytest.raises(SystemExit, match="persistent"):
+            main(
+                [
+                    "search",
+                    "--database",
+                    str(fasta),
+                    "--query",
+                    "MKV",
+                    "--shards",
+                    "2",
+                    "--backend",
+                    "processes:2",
+                    "--min-score",
+                    "15",
+                ]
+            )
+
+
 class TestIndexCommands:
     @pytest.fixture
     def index_dir(self, tmp_path, generated_files):
@@ -278,6 +377,53 @@ class TestIndexCommands:
                     "15",
                 ]
             )
+
+    def test_search_index_with_process_backend(self, index_dir, generated_files, capsys):
+        fasta, queries = generated_files
+        main(["search", "--database", str(fasta), "--queries", str(queries), "--min-score", "15"])
+        monolithic = capsys.readouterr().out.splitlines()
+        code = main(
+            [
+                "search",
+                "--index",
+                str(index_dir),
+                "--queries",
+                str(queries),
+                "--backend",
+                "processes:2",
+                "--min-score",
+                "15",
+            ]
+        )
+        assert code == 0
+        sharded = capsys.readouterr().out.splitlines()
+        assert [line.split()[:3] for line in monolithic[1:6]] == [
+            line.split()[:3] for line in sharded[1:6]
+        ]
+
+    def test_index_build_with_parallel_backend(self, tmp_path, generated_files, capsys):
+        fasta, _ = generated_files
+        directory = tmp_path / "parallel-index"
+        code = main(
+            [
+                "index",
+                "build",
+                "--database",
+                str(fasta),
+                "--output",
+                str(directory),
+                "--shards",
+                "2",
+                "--backend",
+                "threads:2",
+            ]
+        )
+        assert code == 0
+        assert "built 2-shard index" in capsys.readouterr().out
+        assert sorted(p.name for p in directory.glob("*.oasis")) == [
+            "shard-0000.oasis",
+            "shard-0001.oasis",
+        ]
 
     def test_search_index_rejects_mismatched_config(self, index_dir, generated_files):
         _, queries = generated_files

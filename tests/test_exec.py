@@ -1,0 +1,250 @@
+"""Tests for the pluggable execution-backend layer (repro.exec).
+
+The contract every consumer (batch executor, sharded scatter, sharded
+builds) relies on: the three backends run the same tasks to the same
+results, specs parse in exactly one place, task exceptions surface as
+exceptions (a dead worker process is an error, never a hang), and a closed
+backend refuses to resurrect.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.exec import (
+    BackendSpec,
+    ExecutionBackend,
+    ProcessBackend,
+    SerialBackend,
+    ThreadBackend,
+    resolve_backend,
+)
+
+# Task functions live in repro.testing (an importable module) rather than
+# here: process workers are spawned, and a spawned worker re-imports its
+# task by qualified name -- test modules are not importable from a worker.
+from repro.testing import (
+    proc_kill_worker as _kill_worker,
+    proc_raise_value_error as _raise_value_error,
+    proc_square as _square,
+)
+
+
+class TestBackendSpec:
+    @pytest.mark.parametrize(
+        "text, kind, workers",
+        [
+            ("serial", "serial", None),
+            ("SERIAL", "serial", None),
+            ("sync", "serial", None),
+            ("threads", "threads", None),
+            ("threads:4", "threads", 4),
+            ("thread:2", "threads", 2),
+            ("processes", "processes", None),
+            ("processes:8", "processes", 8),
+            ("process:1", "processes", 1),
+            ("procs:3", "processes", 3),
+            (" threads:4 ", "threads", 4),
+        ],
+    )
+    def test_parse(self, text, kind, workers):
+        spec = BackendSpec.parse(text)
+        assert spec.kind == kind
+        assert spec.workers == workers
+
+    @pytest.mark.parametrize("text", ["", "fibers", "threads:x", "threads:0", "processes:-1"])
+    def test_parse_rejects(self, text):
+        with pytest.raises(ValueError):
+            BackendSpec.parse(text)
+
+    def test_serial_has_one_worker(self):
+        with pytest.raises(ValueError):
+            BackendSpec("serial", 4)
+
+    def test_round_trip_str(self):
+        assert str(BackendSpec.parse("threads:4")) == "threads:4"
+        assert str(BackendSpec.parse("serial")) == "serial"
+        assert str(BackendSpec.parse("processes")) == "processes"
+
+    def test_create_uses_default_workers(self):
+        backend = BackendSpec.parse("threads").create(default_workers=3)
+        try:
+            assert isinstance(backend, ThreadBackend)
+            assert backend.workers == 3
+        finally:
+            backend.close()
+
+    def test_create_kinds(self):
+        for text, expected in [
+            ("serial", SerialBackend),
+            ("threads:2", ThreadBackend),
+            ("processes:2", ProcessBackend),
+        ]:
+            backend = BackendSpec.parse(text).create()
+            try:
+                assert isinstance(backend, expected)
+            finally:
+                backend.close()
+
+
+class TestResolveBackend:
+    def test_none_uses_default_spec(self):
+        backend, owned = resolve_backend(None, default="threads:2")
+        try:
+            assert owned
+            assert backend.spec == "threads:2"
+        finally:
+            backend.close()
+
+    def test_instance_is_not_owned(self):
+        with ThreadBackend(2) as instance:
+            backend, owned = resolve_backend(instance)
+            assert backend is instance
+            assert not owned
+
+    def test_rejects_junk(self):
+        with pytest.raises(TypeError):
+            resolve_backend(42)
+
+
+class TestSerialBackend:
+    def test_submit_runs_inline(self):
+        backend = SerialBackend()
+        assert backend.submit(_square, 7).result() == 49
+
+    def test_submit_captures_exceptions(self):
+        backend = SerialBackend()
+        future = backend.submit(_raise_value_error, 1)
+        with pytest.raises(ValueError, match="boom 1"):
+            future.result()
+
+    def test_map_unordered_preserves_input_order(self):
+        backend = SerialBackend()
+        assert list(backend.map_unordered(_square, [1, 2, 3])) == [1, 4, 9]
+
+    def test_map_unordered_is_lazy(self):
+        # Abandoning the stream must do no further work -- that is what
+        # makes the serial backend safe for streaming consumers.
+        seen = []
+
+        def record(value):
+            seen.append(value)
+            return value
+
+        backend = SerialBackend()
+        stream = backend.map_unordered(record, [1, 2, 3])
+        assert next(stream) == 1
+        stream.close()
+        assert seen == [1]
+
+    def test_submit_after_close_raises(self):
+        backend = SerialBackend()
+        backend.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            backend.submit(_square, 1)
+
+    def test_spec(self):
+        assert SerialBackend().spec == "serial"
+        assert SerialBackend().workers == 1
+
+
+class TestThreadBackend:
+    def test_runs_tasks_on_other_threads(self):
+        with ThreadBackend(2) as backend:
+            main = threading.get_ident()
+            idents = set(
+                backend.map_unordered(lambda _: threading.get_ident(), range(8))
+            )
+        assert main not in idents
+
+    def test_map_unordered_results_complete(self):
+        with ThreadBackend(3) as backend:
+            assert sorted(backend.map_unordered(_square, range(10))) == sorted(
+                n * n for n in range(10)
+            )
+
+    def test_exceptions_propagate(self):
+        with ThreadBackend(2) as backend:
+            with pytest.raises(ValueError, match="boom"):
+                list(backend.map_unordered(_raise_value_error, [1]))
+
+    def test_submit_after_close_raises(self):
+        backend = ThreadBackend(2)
+        backend.submit(_square, 2).result()
+        backend.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            backend.submit(_square, 3)
+
+    def test_rejects_bad_worker_counts(self):
+        with pytest.raises(ValueError):
+            ThreadBackend(0)
+
+    def test_spec(self):
+        with ThreadBackend(4) as backend:
+            assert backend.spec == "threads:4"
+
+
+class TestProcessBackend:
+    def test_parity_with_serial(self):
+        with ProcessBackend(2) as backend:
+            assert sorted(backend.map_unordered(_square, range(6))) == sorted(
+                n * n for n in range(6)
+            )
+
+    def test_task_exception_propagates(self):
+        """A Python-level failure in a worker is a per-task error."""
+        with ProcessBackend(1) as backend:
+            future = backend.submit(_raise_value_error, 3)
+            with pytest.raises(ValueError, match="boom 3"):
+                future.result()
+            # The pool survives an ordinary exception: later tasks still run.
+            assert backend.submit(_square, 4).result() == 16
+
+    def test_worker_crash_is_an_error_not_a_hang(self):
+        """A worker dying outright surfaces as BrokenProcessPool."""
+        from concurrent.futures.process import BrokenProcessPool
+
+        with ProcessBackend(1) as backend:
+            future = backend.submit(_kill_worker, 0)
+            with pytest.raises(BrokenProcessPool):
+                future.result(timeout=60)
+
+    def test_reset_replaces_a_broken_pool(self):
+        """After a crash, reset() makes the backend serviceable again."""
+        from concurrent.futures.process import BrokenProcessPool
+
+        with ProcessBackend(1) as backend:
+            future = backend.submit(_kill_worker, 0)
+            with pytest.raises(BrokenProcessPool):
+                future.result(timeout=60)
+            backend.reset()
+            assert backend.submit(_square, 3).result(timeout=60) == 9
+
+    def test_reset_does_not_resurrect_a_closed_backend(self):
+        backend = ProcessBackend(1)
+        backend.close()
+        backend.reset()
+        with pytest.raises(RuntimeError, match="closed"):
+            backend.submit(_square, 1)
+
+    def test_submit_after_close_raises(self):
+        backend = ProcessBackend(1)
+        backend.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            backend.submit(_square, 1)
+
+    def test_spec(self):
+        with ProcessBackend(2) as backend:
+            assert backend.spec == "processes:2"
+            assert backend.kind == "processes"
+
+
+class TestAbstractSurface:
+    def test_kinds_cover_the_three_strategies(self):
+        assert SerialBackend.kind == "serial"
+        assert ThreadBackend.kind == "threads"
+        assert ProcessBackend.kind == "processes"
+        for cls in (SerialBackend, ThreadBackend, ProcessBackend):
+            assert issubclass(cls, ExecutionBackend)
