@@ -16,12 +16,33 @@ Run with ``pytest benchmarks/ -s`` to see the tables.
 
 from __future__ import annotations
 
+from typing import Callable, Dict
+
 import pytest
 
 from repro.experiments.common import ExperimentConfig
-from repro.testing import bench_config
+from repro.testing import bench_config, persist_bench
 
 
 @pytest.fixture(scope="session")
 def config() -> ExperimentConfig:
     return bench_config()
+
+
+@pytest.fixture
+def bench_record(capsys) -> Callable[[str, Dict], str]:
+    """Persist a benchmark's measurements as ``BENCH_<name>.json``.
+
+    Thin wrapper over :func:`repro.testing.persist_bench` that also announces
+    the written path (visible with ``-s``), so a local run tells the user
+    where the snapshot landed.  CI uploads the ``BENCH_*.json`` files as an
+    artifact, building a benchmark trajectory commit by commit.
+    """
+
+    def record(name: str, payload: Dict) -> str:
+        path = persist_bench(name, payload)
+        with capsys.disabled():
+            print(f"\n[bench] wrote {path}")
+        return path
+
+    return record

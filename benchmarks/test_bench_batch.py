@@ -117,13 +117,30 @@ def run(config, tmp_dir) -> BatchComparisonResult:
     return result
 
 
-def test_bench_batch_throughput(benchmark, config, tmp_path):
+def test_bench_batch_throughput(benchmark, config, tmp_path, bench_record):
     from repro.testing import emit, smoke_mode
 
     result = benchmark.pedantic(
         run, args=(config, str(tmp_path)), iterations=1, rounds=1
     )
     emit(result)
+    bench_record(
+        "batch",
+        {
+            "workers": result.workers,
+            "queries": result.queries,
+            "rows": [
+                {
+                    "index": row.index,
+                    "serial_seconds": row.serial_seconds,
+                    "parallel_seconds": row.parallel_seconds,
+                    "speedup": row.speedup,
+                    "identical": row.identical,
+                }
+                for row in result.rows
+            ],
+        },
+    )
 
     for row in result.rows:
         assert row.identical, f"{row.index}: parallel hits differ from the serial loop"

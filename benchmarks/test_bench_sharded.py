@@ -165,13 +165,31 @@ def run(config, tmp_dir) -> ShardedComparisonResult:
     return result
 
 
-def test_bench_sharded_throughput(benchmark, config, tmp_path):
+def _sharded_rows(result: ShardedComparisonResult) -> dict:
+    return {
+        "workers": result.workers,
+        "queries": result.queries,
+        "rows": [
+            {
+                "configuration": row.configuration,
+                "wall_seconds": row.wall_seconds,
+                "throughput": row.throughput,
+                "speedup": row.speedup,
+                "identical": row.identical,
+            }
+            for row in result.rows
+        ],
+    }
+
+
+def test_bench_sharded_throughput(benchmark, config, tmp_path, bench_record):
     from repro.testing import emit
 
     result = benchmark.pedantic(
         run, args=(config, str(tmp_path)), iterations=1, rounds=1
     )
     emit(result)
+    bench_record("sharded", _sharded_rows(result))
 
     # Parity is the contract and holds at any scale, smoke mode included.
     for row in result.rows:
@@ -258,7 +276,7 @@ def run_backend_comparison(config, tmp_dir) -> ShardedComparisonResult:
     return result
 
 
-def test_bench_backend_scatter_cpu_bound(benchmark, config, tmp_path):
+def test_bench_backend_scatter_cpu_bound(benchmark, config, tmp_path, bench_record):
     """processes:4 must beat threads:4 when the work is CPU-bound."""
     from repro.testing import emit
 
@@ -266,6 +284,7 @@ def test_bench_backend_scatter_cpu_bound(benchmark, config, tmp_path):
         run_backend_comparison, args=(config, str(tmp_path)), iterations=1, rounds=1
     )
     emit(result)
+    bench_record("backend_scatter", _sharded_rows(result))
 
     # Hit-for-hit parity across backends is unconditional.
     for row in result.rows:

@@ -1,0 +1,116 @@
+"""Benchmark: telemetry overhead and the expansion-kernel profile.
+
+Two claims ride on the observability subsystem:
+
+1. **Disabled telemetry is free (<= 2%).**  Every instrumented call site
+   guards on ``tracer is None``, so a search without a tracer must cost what
+   it did before the instrumentation existed -- and, just as important,
+   running *with* a tracer once must not leave the engine permanently
+   slower (a leaked ``instrument()`` attachment would).  The benchmark
+   measures the disabled workload before and after an enabled run and
+   asserts the after/before ratio stays within the 2% budget.
+2. **The profiling hooks answer ROADMAP's question.**  ``profile_workload``
+   runs the workload under cProfile and the hot-function breakdown --
+   including ``core/expand.py``'s share of the own-time -- is persisted to
+   ``BENCH_profile_expand.json``, the evidence the expansion-vectorisation
+   item asks for.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+
+from repro.experiments.common import build_protein_dataset
+from repro.obs import Tracer, profile_workload
+from repro.testing import smoke_mode
+
+#: Queries per timed pass (kept small: the pass repeats REPEATS times per
+#: sample and three samples are taken).
+QUERY_COUNT = 8
+#: Timed passes per sample; the sample statistic is their median.
+REPEATS = 5
+#: Disabled-path budget: after/before ratio of the disabled medians.
+OVERHEAD_BUDGET = 0.02
+
+
+def _time_workload(engine, queries, evalue, tracer=None) -> float:
+    """Median wall seconds of REPEATS full serial passes over the workload."""
+    samples = []
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        for query in queries:
+            engine.search(query, evalue=evalue, tracer=tracer)
+        samples.append(time.perf_counter() - start)
+    return statistics.median(samples)
+
+
+def test_bench_telemetry_overhead_and_profile(config, bench_record):
+    dataset = build_protein_dataset(config)
+    queries = [query.text for query in dataset.workload][:QUERY_COUNT]
+    evalue = config.effective_evalue(dataset.database_symbols)
+    engine = dataset.engine
+
+    # Warm-up pass: JIT-free Python still has cold dict/caches on the first
+    # touch (scoring rows, suffix-tree laziness), which would be charged to
+    # whichever sample runs first.
+    for query in queries:
+        engine.search(query, evalue=evalue)
+
+    disabled_before = _time_workload(engine, queries, evalue)
+
+    tracer = Tracer()
+    engine.instrument(tracer)
+    try:
+        enabled = _time_workload(engine, queries, evalue, tracer=tracer)
+    finally:
+        engine.instrument(None)
+
+    disabled_after = _time_workload(engine, queries, evalue)
+
+    after_ratio = disabled_after / disabled_before if disabled_before else 1.0
+    enabled_ratio = enabled / disabled_before if disabled_before else 1.0
+
+    # The profiling hook itself: where does the search spend its time?
+    profile = profile_workload(engine, queries, evalue=evalue)
+    expand_share = profile.share_of("core/expand")
+
+    print()
+    print(
+        f"telemetry overhead: disabled {disabled_before * 1e3:.1f}ms -> "
+        f"{disabled_after * 1e3:.1f}ms after an enabled run "
+        f"(x{after_ratio:.3f}); enabled x{enabled_ratio:.3f}"
+    )
+    print(f"core/expand own-time share: {expand_share:.1%}")
+    print(profile.format_table(limit=10))
+
+    bench_record(
+        "profile_expand",
+        {
+            "queries": len(queries),
+            "repeats": REPEATS,
+            "disabled_before_seconds": disabled_before,
+            "disabled_after_seconds": disabled_after,
+            "enabled_seconds": enabled,
+            "disabled_after_ratio": after_ratio,
+            "enabled_ratio": enabled_ratio,
+            "spans_recorded": len(tracer.records()),
+            "expand_share": expand_share,
+            "profile": profile.as_dict(limit=20),
+        },
+    )
+
+    # The tracer really did observe the enabled passes.
+    assert len(tracer.records()) == REPEATS * len(queries)
+    assert tracer.metrics.counter("search.queries").value == REPEATS * len(queries)
+
+    if smoke_mode():
+        return
+    # Disabled telemetry must stay free: an enabled run in between must not
+    # leave the engine slower than the 2% budget (leaked instrumentation
+    # would show up here as a persistent slowdown, not as noise).
+    assert after_ratio <= 1.0 + OVERHEAD_BUDGET, (
+        f"disabled-path slowdown after an enabled run: x{after_ratio:.3f} "
+        f"(budget x{1.0 + OVERHEAD_BUDGET:.2f}) -- telemetry is leaking into "
+        "the uninstrumented path"
+    )

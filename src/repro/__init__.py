@@ -31,14 +31,28 @@ from repro.exec import (
     SerialBackend,
     ThreadBackend,
 )
+from repro.obs import (
+    JsonLinesExporter,
+    MetricsRegistry,
+    Tracer,
+    configure_logging,
+    get_logger,
+    profile_search,
+)
 from repro.parallel import BatchSearchExecutor, BatchSearchReport
 from repro.sequences.database import SequenceDatabase
 from repro.sequences.sequence import Sequence, SequenceRecord
 from repro.sharding import ShardCatalog, ShardedEngine, ShardedIndexBuilder
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
+    "Tracer",
+    "MetricsRegistry",
+    "JsonLinesExporter",
+    "profile_search",
+    "configure_logging",
+    "get_logger",
     "OasisEngine",
     "OasisSearchStatistics",
     "QueryExecution",

@@ -40,6 +40,7 @@ Examples
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -58,6 +59,13 @@ def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-oasis",
         description="OASIS (VLDB 2003) reproduction: accurate online local-alignment search.",
+    )
+    parser.add_argument(
+        "-v",
+        "--verbose",
+        action="count",
+        default=0,
+        help="log progress to stderr (-v: info, -vv: debug; default warnings only)",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -112,6 +120,19 @@ def _build_parser() -> argparse.ArgumentParser:
         help="scatter backend for sharded engines: serial, threads[:N] or "
         "processes[:N] (processes escape the GIL for CPU-bound search but "
         "need a persistent --index); requires --shards or --index",
+    )
+    search.add_argument(
+        "--trace",
+        metavar="FILE",
+        help="record a span trace of the run and write it to FILE as "
+        "JSON lines (one span per line; validate with "
+        "`python -m repro.obs.validate FILE`)",
+    )
+    search.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print the metrics registry (nodes expanded, DP cells, pool "
+        "hit rates, backend latencies) after the run",
     )
 
     index = subparsers.add_parser("index", help="manage persistent sharded indexes")
@@ -215,6 +236,17 @@ def _print_single_result(result) -> None:
         f"\n{len(result)} hits in {result.elapsed_seconds:.3f}s "
         f"({result.columns_expanded} DP columns expanded)"
     )
+    statistics = result.statistics
+    buffer_requests = getattr(statistics, "buffer_hits", 0) + getattr(
+        statistics, "buffer_misses", 0
+    )
+    if buffer_requests:
+        print(
+            f"buffer pool: {statistics.buffer_hits} hits, "
+            f"{statistics.buffer_misses} misses, "
+            f"{statistics.buffer_evictions} evictions "
+            f"({statistics.buffer_hits / buffer_requests:.1%} hit ratio)"
+        )
     if timed_out:
         print("warning: time budget exhausted -- the hit list is partial")
 
@@ -295,7 +327,18 @@ def _command_search(args: argparse.Namespace) -> int:
     # Validate the workload before opening any index: a bad --queries path
     # must not leak opened shard cursors.
     queries = [args.query] if args.query is not None else _read_query_file(args.queries)
+
+    tracer = None
+    if args.trace or args.metrics:
+        from repro.obs import Tracer
+
+        tracer = Tracer()
+
     engine = _build_search_engine(args)
+    if tracer is not None:
+        instrument = getattr(engine, "instrument", None)
+        if instrument is not None:
+            instrument(tracer)
 
     # Single and batch mode both run through the concurrent executor; a lone
     # query is simply a batch of one.
@@ -307,11 +350,15 @@ def _command_search(args: argparse.Namespace) -> int:
             min_score=args.min_score,
             max_results=args.max_results,
             timeout=args.timeout,
+            tracer=tracer,
         )
     finally:
         close = getattr(engine, "close", None)
         if close is not None:
             close()
+
+    if tracer is not None:
+        _emit_telemetry(args, tracer)
 
     if len(queries) == 1:
         report.raise_first_error()
@@ -335,6 +382,25 @@ def _command_search(args: argparse.Namespace) -> int:
     print()
     print(report.format_summary())
     return 1 if report.statistics.failed else 0
+
+
+def _emit_telemetry(args: argparse.Namespace, tracer) -> None:
+    """Write the trace file and/or print the metrics dump after a search."""
+    if args.trace:
+        from repro.obs import JsonLinesExporter
+
+        # "w", not the exporter's append default: rerunning with the same
+        # --trace FILE must not interleave two traces in one file.
+        with open(args.trace, "w", encoding="utf-8") as handle:
+            tracer.export(JsonLinesExporter(handle))
+        print(
+            f"wrote {len(tracer.records())} spans to {args.trace}", file=sys.stderr
+        )
+    if args.metrics:
+        rendered = tracer.metrics.render()
+        if rendered:
+            print("--- metrics ---", file=sys.stderr)
+            print(rendered, file=sys.stderr)
 
 
 def _command_index(args: argparse.Namespace) -> int:
@@ -388,10 +454,23 @@ def _command_index_info(args: argparse.Namespace) -> int:
         f"configuration: matrix={catalog.matrix_name}, gap={catalog.gap_penalty}, "
         f"block_size={catalog.block_size}, balanced_by={catalog.balanced_by}"
     )
-    print(f"{'shard':20s} {'sequences':>18s} {'residues':>10s}")
+    print(f"{'shard':20s} {'sequences':>18s} {'residues':>10s} {'size':>12s}")
+    total_bytes = 0
     for entry in catalog.shards:
         span = f"[{entry.start_sequence}, {entry.stop_sequence})"
-        print(f"{entry.path:20s} {span:>18s} {entry.residues:10d}")
+        image_path = catalog.shard_image_path(args.directory, entry)
+        try:
+            image_bytes = os.path.getsize(image_path)
+            total_bytes += image_bytes
+            size = f"{image_bytes:,d} B"
+        except OSError:
+            size = "missing"
+        print(f"{entry.path:20s} {span:>18s} {entry.residues:10d} {size:>12s}")
+    if total_bytes and catalog.total_residues:
+        print(
+            f"on disk: {total_bytes:,d} bytes total "
+            f"({total_bytes / catalog.total_residues:.1f} bytes/residue)"
+        )
     return 0
 
 
@@ -428,6 +507,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     """Entry point used by the ``repro-oasis`` console script."""
     parser = _build_parser()
     args = parser.parse_args(argv)
+
+    from repro.obs.logsetup import configure_logging
+
+    configure_logging(args.verbose)
     handlers = {
         "generate": _command_generate,
         "search": _command_search,

@@ -25,6 +25,7 @@ from typing import TYPE_CHECKING, Iterable, Iterator, Optional, Union
 from repro.core.evalue import SelectivityConverter
 from repro.core.oasis import OasisSearch, OasisSearchStatistics, QueryExecution
 from repro.core.results import SearchHit, SearchResult
+from repro.obs.logsetup import get_logger
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations only
     from repro.parallel.executor import BatchSearchReport
@@ -38,6 +39,8 @@ from repro.suffixtree.generalized import GeneralizedSuffixTree
 from repro.suffixtree.partitioned import PartitionedTreeBuilder
 
 PathLike = Union[str, os.PathLike]
+
+logger = get_logger(__name__)
 
 
 class OasisEngine:
@@ -74,6 +77,12 @@ class OasisEngine:
         construction (the result is identical; only the construction footprint
         differs).
         """
+        logger.info(
+            "building in-memory index for %s (%d sequences, partitioned=%s)",
+            database.name,
+            len(database),
+            partitioned,
+        )
         if partitioned:
             tree: SuffixTreeCursor = PartitionedTreeBuilder(
                 max_partition_size=max_partition_size
@@ -99,6 +108,12 @@ class OasisEngine:
         (Figures 7-8) use: every node and symbol access during the search goes
         through the buffer pool of the returned engine's cursor.
         """
+        logger.info(
+            "building disk image at %s (block_size=%d, pool=%d bytes)",
+            image_path,
+            block_size,
+            buffer_pool_bytes,
+        )
         tree = GeneralizedSuffixTree.build(database)
         build_disk_image(tree, image_path, block_size=block_size)
         disk = DiskSuffixTree(
@@ -172,6 +187,19 @@ class OasisEngine:
         """The ``min_score`` equivalent to an E-value cutoff for this query."""
         return self.converter.min_score_for_evalue(evalue, len(query))
 
+    def instrument(self, tracer) -> None:
+        """Attach a tracer to the index's buffer pool, if it has one.
+
+        Monolithic disk-backed engines route every page request through one
+        pool; instrumenting it records pool hit/miss/eviction counters into
+        ``tracer.metrics`` (see :meth:`repro.storage.BufferPool.instrument`).
+        In-memory cursors have no pool and this is a no-op.  ``None``
+        detaches.
+        """
+        instrument = getattr(self.cursor, "instrument", None)
+        if instrument is not None:
+            instrument(tracer)
+
     def execute(
         self,
         query: str,
@@ -181,6 +209,7 @@ class OasisEngine:
         compute_alignments: bool = False,
         time_budget: Optional[float] = None,
         cancel_event: Optional[threading.Event] = None,
+        tracer=None,
     ) -> QueryExecution:
         """Create a self-contained, reentrant execution for one query.
 
@@ -188,6 +217,8 @@ class OasisEngine:
         them can run concurrently (interleaved on one thread or spread over a
         thread pool) against this engine's shared read-only index.  Iterate it
         for the online stream or call ``.result()`` for the batch result.
+        Pass a :class:`~repro.obs.Tracer` to wrap the run in a span and
+        record the search metrics.
         """
         threshold = self._resolve_threshold(query, min_score, evalue)
         return self._search.execute(
@@ -199,6 +230,7 @@ class OasisEngine:
             database_size=self.converter.database_size,
             time_budget=time_budget,
             cancel_event=cancel_event,
+            tracer=tracer,
         )
 
     def search(
@@ -208,6 +240,7 @@ class OasisEngine:
         evalue: Optional[float] = None,
         max_results: Optional[int] = None,
         compute_alignments: bool = False,
+        tracer=None,
     ) -> SearchResult:
         """Find the strongest alignment per sequence scoring above a threshold.
 
@@ -221,6 +254,7 @@ class OasisEngine:
             evalue=evalue,
             max_results=max_results,
             compute_alignments=compute_alignments,
+            tracer=tracer,
         ).result()
 
     def search_online(
@@ -252,6 +286,7 @@ class OasisEngine:
         compute_alignments: bool = False,
         timeout: Optional[float] = None,
         backend=None,
+        tracer=None,
     ) -> "BatchSearchReport":
         """Run a batch of queries concurrently over the shared index.
 
@@ -277,6 +312,7 @@ class OasisEngine:
             evalue=evalue,
             max_results=max_results,
             compute_alignments=compute_alignments,
+            tracer=tracer,
         )
         return executor.run(queries)
 

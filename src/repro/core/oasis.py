@@ -47,7 +47,15 @@ from repro.suffixtree.cursor import SuffixTreeCursor
 
 @dataclass
 class OasisSearchStatistics:
-    """Work counters for one query (the quantities behind Figures 4 and 6)."""
+    """Work counters for one query (the quantities behind Figures 4 and 6).
+
+    The ``buffer_*`` counters are the buffer-pool activity observed while
+    this query ran (hits/misses/evictions delta over the cursor's pool);
+    zero for in-memory cursors.  A shared pool serving concurrent queries
+    attributes overlapping activity to every query that was in flight, so
+    under concurrency they are an upper bound per query -- exact in the
+    serial and process-scatter regimes, where one query owns the pool.
+    """
 
     columns_expanded: int = 0
     nodes_expanded: int = 0
@@ -59,6 +67,9 @@ class OasisSearchStatistics:
     pruned_dominated: int = 0
     pruned_threshold: int = 0
     elapsed_seconds: float = 0.0
+    buffer_hits: int = 0
+    buffer_misses: int = 0
+    buffer_evictions: int = 0
 
     def as_dict(self) -> Dict[str, float]:
         return {
@@ -72,6 +83,9 @@ class OasisSearchStatistics:
             "pruned_dominated": self.pruned_dominated,
             "pruned_threshold": self.pruned_threshold,
             "elapsed_seconds": self.elapsed_seconds,
+            "buffer_hits": self.buffer_hits,
+            "buffer_misses": self.buffer_misses,
+            "buffer_evictions": self.buffer_evictions,
         }
 
 
@@ -98,6 +112,17 @@ class QueryExecution:
         set, the execution stops at the next queue pop.
     ``abort()``
         Per-execution flag with the same effect as the cancel event.
+
+    Telemetry (all optional, all off by default):
+
+    ``tracer``
+        A :class:`~repro.obs.Tracer`.  The whole run is wrapped in one span
+        (named :attr:`trace_name`, parented under :attr:`trace_parent` when a
+        coordinator such as the sharded engine sets one) whose attributes
+        carry the final work counters, and the search metrics (nodes
+        expanded, DP cells, pruning cutoffs, query latency) are recorded
+        into ``tracer.metrics`` when the execution finishes.  ``None`` costs
+        a single identity check per query -- nothing in the per-node loop.
     """
 
     def __init__(
@@ -111,6 +136,7 @@ class QueryExecution:
         database_size: Optional[int] = None,
         time_budget: Optional[float] = None,
         cancel_event: Optional[threading.Event] = None,
+        tracer=None,
     ):
         if time_budget is not None and time_budget <= 0:
             raise ValueError("time_budget must be positive")
@@ -135,6 +161,15 @@ class QueryExecution:
         self.statistics = OasisSearchStatistics()
         self.timed_out = False
         self.aborted = False
+
+        #: Telemetry: the span name/parent/attributes are plain fields so a
+        #: coordinator (sharded engine, batch executor, process worker) can
+        #: re-label its shard executions before iteration starts.
+        self.tracer = tracer
+        self.trace_name = "query"
+        self.trace_parent: Optional[str] = None
+        self.trace_attributes: Dict[str, object] = {}
+        self._pool_start: Optional[tuple] = None
 
         self._cancel_event = cancel_event
         self._abort_requested = False
@@ -227,6 +262,25 @@ class QueryExecution:
         self._start_time = start_time
         if self._deadline is None and self.time_budget is not None:
             self._deadline = start_time + self.time_budget
+
+        span = None
+        tracer = self.tracer
+        if tracer is not None:
+            if self.trace_parent is not None:
+                span = tracer.span(
+                    self.trace_name,
+                    parent_id=self.trace_parent,
+                    **self.trace_attributes,
+                )
+            else:
+                span = tracer.span(self.trace_name, **self.trace_attributes)
+            span.set_attribute("query_length", len(query_codes))
+            span.set_attribute("min_score", min_score)
+            tracer._push(span)
+        pool = getattr(cursor, "pool", None)
+        if pool is not None:
+            pool_stats = pool.statistics
+            self._pool_start = (pool_stats.hits, pool_stats.misses, pool_stats.evictions)
 
         try:
             # Algorithm 2: seed the queue with the root of the suffix tree.
@@ -343,11 +397,18 @@ class QueryExecution:
 
             # Exhausted queue or full coverage: whatever is buffered is final.
             yield from drain()
+        except Exception as error:
+            if span is not None:
+                span.status = "error"
+                span.attributes.setdefault("error", f"{type(error).__name__}: {error}")
+            raise
         finally:
             # Runs on normal exhaustion, early return, GeneratorExit (an
             # abandoned generator) and errors alike, so an aborted consumer
             # still sees correct elapsed/columns counters.
             self._finish()
+            if span is not None:
+                self._close_span(span)
 
     def _finish(self) -> None:
         context = self.context
@@ -358,6 +419,59 @@ class QueryExecution:
         statistics.pruned_threshold = context.pruned_threshold
         if self._start_time is not None:
             statistics.elapsed_seconds = time.perf_counter() - self._start_time
+        if self._pool_start is not None:
+            pool_stats = self.search.cursor.pool.statistics  # type: ignore[attr-defined]
+            start_hits, start_misses, start_evictions = self._pool_start
+            statistics.buffer_hits = pool_stats.hits - start_hits
+            statistics.buffer_misses = pool_stats.misses - start_misses
+            statistics.buffer_evictions = pool_stats.evictions - start_evictions
+            self._pool_start = None
+
+    def _close_span(self, span) -> None:
+        """Stamp final counters on the query span and record the metrics."""
+        statistics = self.statistics
+        span.set_attribute("hits", len(self._hits))
+        span.set_attribute("nodes_expanded", statistics.nodes_expanded)
+        span.set_attribute("columns_expanded", statistics.columns_expanded)
+        if statistics.buffer_misses or statistics.buffer_hits:
+            span.set_attribute("buffer_hits", statistics.buffer_hits)
+            span.set_attribute("buffer_misses", statistics.buffer_misses)
+        if self.timed_out:
+            span.set_attribute("timed_out", True)
+        if self.aborted:
+            span.set_attribute("aborted", True)
+        tracer = self.tracer
+        tracer._pop(span)
+        span.finish()
+        metrics = tracer.metrics
+        metrics.counter("search.queries", "queries executed").inc()
+        metrics.counter("search.hits", "hits emitted").inc(len(self._hits))
+        metrics.counter("search.nodes_expanded", "suffix-tree nodes expanded").inc(
+            statistics.nodes_expanded
+        )
+        metrics.counter("search.columns_expanded", "DP columns computed").inc(
+            statistics.columns_expanded
+        )
+        # One DP column holds query_length + 1 cells.
+        metrics.counter("search.dp_cells", "DP cells computed").inc(
+            statistics.columns_expanded * (len(self.query_sequence.codes) + 1)
+        )
+        metrics.counter(
+            "search.pruning_cutoffs", "frontier nodes cut by the pruning rules"
+        ).inc(statistics.nodes_pruned)
+        metrics.gauge("search.queue_peak", "peak priority-queue size").set(
+            max(
+                metrics.gauge("search.queue_peak").value,
+                statistics.max_queue_size,
+            )
+        )
+        metrics.histogram("search.seconds", description="per-query latency").observe(
+            statistics.elapsed_seconds
+        )
+        if self.timed_out:
+            metrics.counter("search.timeouts", "queries that hit their budget").inc()
+        if self.aborted:
+            metrics.counter("search.aborts", "queries stopped by abort/cancel").inc()
 
     # ------------------------------------------------------------------ #
     # Batch interface
@@ -463,6 +577,7 @@ class OasisSearch:
         database_size: Optional[int] = None,
         time_budget: Optional[float] = None,
         cancel_event: Optional[threading.Event] = None,
+        tracer=None,
     ) -> QueryExecution:
         """Create a self-contained execution for one query."""
         execution = QueryExecution(
@@ -475,6 +590,7 @@ class OasisSearch:
             database_size=database_size,
             time_budget=time_budget,
             cancel_event=cancel_event,
+            tracer=tracer,
         )
         self.statistics = execution.statistics
         return execution

@@ -26,6 +26,7 @@ from __future__ import annotations
 import multiprocessing
 import os
 import threading
+import time
 from abc import ABC, abstractmethod
 from concurrent.futures import (
     Future,
@@ -68,6 +69,54 @@ class ExecutionBackend(ABC):
     def __init__(self) -> None:
         self.workers: int = 1
         self._closed = False
+        # Telemetry (attached via instrument()): resolved instruments, so the
+        # submit path pays one None check when telemetry is off.
+        self._metric_latency = None
+        self._metric_queue = None
+
+    # ------------------------------------------------------------------ #
+    # Telemetry
+    # ------------------------------------------------------------------ #
+    def instrument(self, tracer) -> None:
+        """Record per-task latency and queue depth into ``tracer.metrics``.
+
+        Instrumentation is entirely parent-side (submit times plus future
+        done-callbacks), so tasks stay bare picklable callables and the
+        process backend works unchanged.  ``exec.task_seconds[<spec>]``
+        observes submit-to-completion wall time (queue wait included --
+        that is what a consumer of the backend experiences);
+        ``exec.queue_depth[<spec>]`` tracks in-flight tasks, with the peak
+        in its ``max_value``.  ``None`` detaches.
+        """
+        if tracer is None:
+            self._metric_latency = None
+            self._metric_queue = None
+            return
+        metrics = tracer.metrics
+        self._metric_latency = metrics.histogram(
+            f"exec.task_seconds[{self.spec}]",
+            description="task submit-to-completion latency",
+        )
+        self._metric_queue = metrics.gauge(
+            f"exec.queue_depth[{self.spec}]",
+            description="tasks submitted but not yet finished",
+        )
+
+    def _watch(self, future: "Future", submitted: Optional[float]) -> "Future":
+        """Hook one submitted future into the latency/queue instruments."""
+        if submitted is None:
+            return future
+        latency = self._metric_latency
+        queue = self._metric_queue
+        queue.inc()
+
+        def _finished(done_future: "Future") -> None:
+            queue.dec()
+            if not done_future.cancelled():
+                latency.observe(time.perf_counter() - submitted)
+
+        future.add_done_callback(_finished)
+        return future
 
     # ------------------------------------------------------------------ #
     # Core interface
@@ -138,13 +187,16 @@ class SerialBackend(ExecutionBackend):
 
     def submit(self, fn: Callable, *args) -> "Future":
         self._check_open()
+        submitted = time.perf_counter() if self._metric_latency is not None else None
         future: Future = Future()
         future.set_running_or_notify_cancel()
         try:
             future.set_result(fn(*args))
         except BaseException as error:  # noqa: BLE001 - future carries it
             future.set_exception(error)
-        return future
+        # The future is already resolved; _watch's callback fires inline and
+        # observes the true inline-execution latency from the submit time.
+        return self._watch(future, submitted)
 
     def map_unordered(self, fn: Callable, items: Iterable) -> Iterator:
         self._check_open()
@@ -180,7 +232,9 @@ class _PooledBackend(ExecutionBackend):
             return self._pool
 
     def submit(self, fn: Callable, *args) -> "Future":
-        return self._ensure_pool().submit(fn, *args)
+        submitted = time.perf_counter() if self._metric_latency is not None else None
+        future = self._ensure_pool().submit(fn, *args)
+        return self._watch(future, submitted)
 
     def reset(self) -> None:
         """Discard the current pool; the next submit creates a fresh one.

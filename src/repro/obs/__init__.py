@@ -1,0 +1,76 @@
+"""repro.obs: zero-dependency telemetry for the OASIS engine.
+
+Four pieces, designed to thread through every execution layer (monolithic
+engine, sharded scatter-gather, batch executor, process workers) without
+adding cost when unused:
+
+* **Trace spans** (:mod:`repro.obs.trace`): hierarchical
+  :class:`Tracer`/:class:`Span` context managers with wall/CPU timing,
+  attributes and parent links; spans serialize as plain dicts, so worker
+  processes return them inside result payloads and the parent stitches one
+  coherent tree per query.
+* **Metrics** (:mod:`repro.obs.metrics`): a :class:`MetricsRegistry` of
+  counters, gauges and fixed-bucket histograms -- nodes expanded, DP cells,
+  pruning cutoffs, buffer-pool hit rates, backend task latencies, queue
+  depths -- snapshottable and mergeable across processes.
+* **Exporters** (:mod:`repro.obs.exporters`): human-readable span tree,
+  JSON-lines files (with :func:`read_jsonl` / :func:`validate_trace` for
+  round-trips and CI schema checks), and an in-memory sink for tests.
+* **Profiling** (:mod:`repro.obs.profile`): :func:`profile_search` runs a
+  query under cProfile and reports the hot-function breakdown -- the
+  evidence ROADMAP's expansion-vectorisation item asks for.
+
+Every instrumented call site takes ``tracer=None``; passing a
+:class:`Tracer` (which owns a :class:`MetricsRegistry` as ``tracer.metrics``)
+switches the whole stack on.  ``None`` costs one identity check.
+:mod:`repro.obs.logsetup` supplies the package's stdlib ``logging``
+hierarchy (``get_logger``/``configure_logging``) alongside.
+"""
+
+from repro.obs.exporters import (
+    InMemorySink,
+    JsonLinesExporter,
+    read_jsonl,
+    render_span_tree,
+    validate_trace,
+)
+from repro.obs.logsetup import configure_logging, get_logger
+from repro.obs.metrics import (
+    DEFAULT_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.profile import (
+    HotFunction,
+    ProfileReport,
+    profile_call,
+    profile_search,
+    profile_workload,
+)
+from repro.obs.trace import Span, SpanRecord, TraceContext, Tracer
+
+__all__ = [
+    "Counter",
+    "DEFAULT_LATENCY_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "HotFunction",
+    "InMemorySink",
+    "JsonLinesExporter",
+    "MetricsRegistry",
+    "ProfileReport",
+    "Span",
+    "SpanRecord",
+    "TraceContext",
+    "Tracer",
+    "configure_logging",
+    "get_logger",
+    "profile_call",
+    "profile_search",
+    "profile_workload",
+    "read_jsonl",
+    "render_span_tree",
+    "validate_trace",
+]

@@ -1,0 +1,193 @@
+"""Span exporters: human-readable tree, JSON-lines file, in-memory sink.
+
+Every exporter consumes a sequence of :class:`~repro.obs.trace.SpanRecord`
+through one method, ``write(records)``, so a tracer can be drained into any
+of them (``tracer.export(exporter)``).  The JSON-lines format is one span
+record per line -- append-friendly, greppable, and round-trippable through
+:func:`read_jsonl`; :func:`validate_trace` is the schema check the CI smoke
+leg and the integration tests share.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+import os
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.obs.trace import SpanRecord
+
+PathLike = Union[str, os.PathLike]
+
+#: Required span-record fields and the types their JSON values must have.
+SPAN_SCHEMA = {
+    "name": str,
+    "span_id": str,
+    "trace_id": str,
+    "start_epoch": (int, float),
+    "wall_seconds": (int, float),
+    "cpu_seconds": (int, float),
+    "attributes": dict,
+    "status": str,
+    "pid": int,
+}
+
+
+class InMemorySink:
+    """Collects records in a list -- the exporter tests reach for."""
+
+    def __init__(self) -> None:
+        self.records: List[SpanRecord] = []
+
+    def write(self, records: Sequence[SpanRecord]) -> None:
+        self.records.extend(records)
+
+    def clear(self) -> None:
+        self.records.clear()
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+class JsonLinesExporter:
+    """Writes one JSON object per span to a file (or file-like object).
+
+    Opened lazily, appended per ``write`` call, so several exports (e.g. one
+    per query of a batch) accumulate into one trace file.  Use as a context
+    manager or call :meth:`close`.
+    """
+
+    def __init__(self, target: Union[PathLike, io.TextIOBase]):
+        self._handle: Optional[io.TextIOBase]
+        if hasattr(target, "write"):
+            self._handle = target  # type: ignore[assignment]
+            self._owns_handle = False
+            self.path = None
+        else:
+            self.path = str(target)
+            self._handle = None
+            self._owns_handle = True
+
+    def _ensure_handle(self) -> io.TextIOBase:
+        if self._handle is None:
+            assert self.path is not None
+            self._handle = open(self.path, "a", encoding="utf-8")
+        return self._handle
+
+    def write(self, records: Sequence[SpanRecord]) -> None:
+        handle = self._ensure_handle()
+        for record in records:
+            handle.write(json.dumps(record.to_dict(), sort_keys=True) + "\n")
+        handle.flush()
+
+    def close(self) -> None:
+        if self._handle is not None and self._owns_handle:
+            self._handle.close()
+            self._handle = None
+
+    def __enter__(self) -> "JsonLinesExporter":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def read_jsonl(path: PathLike) -> List[SpanRecord]:
+    """Parse a JSON-lines trace file back into span records."""
+    records: List[SpanRecord] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                records.append(SpanRecord.from_dict(json.loads(line)))
+    return records
+
+
+def validate_trace(records: Sequence[SpanRecord]) -> List[str]:
+    """Schema- and structure-check a span list; returns problems (empty = ok).
+
+    Checks every record against :data:`SPAN_SCHEMA`, then the tree structure:
+    span ids unique, every non-null parent id resolves to a recorded span,
+    at least one root, no cycles, and all records share one trace id.
+    """
+    problems: List[str] = []
+    by_id: Dict[str, SpanRecord] = {}
+    for index, record in enumerate(records):
+        data = record.to_dict()
+        for fieldname, expected in SPAN_SCHEMA.items():
+            value = data.get(fieldname)
+            if not isinstance(value, expected):  # type: ignore[arg-type]
+                problems.append(
+                    f"record {index} ({record.name!r}): field {fieldname!r} "
+                    f"has {type(value).__name__}, expected {expected}"
+                )
+        if record.wall_seconds < 0:
+            problems.append(f"record {index} ({record.name!r}): negative wall time")
+        if record.span_id in by_id:
+            problems.append(f"duplicate span id {record.span_id!r}")
+        by_id[record.span_id] = record
+
+    if not records:
+        problems.append("trace is empty")
+        return problems
+
+    trace_ids = {record.trace_id for record in records}
+    if len(trace_ids) > 1:
+        problems.append(f"records span {len(trace_ids)} trace ids: {sorted(trace_ids)}")
+
+    roots = [record for record in records if record.parent_id is None]
+    if not roots:
+        problems.append("no root span (every record has a parent)")
+    for record in records:
+        if record.parent_id is not None and record.parent_id not in by_id:
+            problems.append(
+                f"span {record.name!r} ({record.span_id}) has unresolved "
+                f"parent {record.parent_id!r}"
+            )
+    # Cycle check: walk each record's parent chain with a visited set.
+    for record in records:
+        seen = set()
+        current: Optional[str] = record.span_id
+        while current is not None:
+            if current in seen:
+                problems.append(f"parent cycle through span {record.span_id!r}")
+                break
+            seen.add(current)
+            parent = by_id.get(current)
+            current = parent.parent_id if parent is not None else None
+    return problems
+
+
+def render_span_tree(records: Sequence[SpanRecord]) -> str:
+    """An indented, human-readable tree of one trace (roots first).
+
+    Children are ordered by start time, so the rendering reads as a
+    timeline.  Orphans (unresolved parents -- e.g. a partial export) are
+    shown as extra roots rather than dropped.
+    """
+    by_id = {record.span_id: record for record in records}
+    children: Dict[Optional[str], List[SpanRecord]] = {}
+    for record in records:
+        parent = record.parent_id if record.parent_id in by_id else None
+        children.setdefault(parent, []).append(record)
+    for siblings in children.values():
+        siblings.sort(key=lambda record: record.start_epoch)
+
+    lines: List[str] = []
+
+    def visit(record: SpanRecord, depth: int) -> None:
+        attributes = ", ".join(
+            f"{key}={value}" for key, value in sorted(record.attributes.items())
+        )
+        suffix = f" [{attributes}]" if attributes else ""
+        flag = "" if record.status == "ok" else f" !{record.status}"
+        lines.append(
+            f"{'  ' * depth}{record.name}  wall={record.wall_seconds * 1e3:.2f}ms "
+            f"cpu={record.cpu_seconds * 1e3:.2f}ms pid={record.pid}{flag}{suffix}"
+        )
+        for child in children.get(record.span_id, []):
+            visit(child, depth + 1)
+
+    for root in children.get(None, []):
+        visit(root, 0)
+    return "\n".join(lines)

@@ -1,0 +1,69 @@
+"""Package-level logging: one ``repro`` logger hierarchy, configured once.
+
+Library modules call :func:`get_logger` (``get_logger("sharding.engine")``
+-> ``logging.getLogger("repro.sharding.engine")``) and log under it; the
+library itself never configures handlers -- the root ``repro`` logger gets a
+:class:`logging.NullHandler` so an embedding application stays in control.
+
+Applications (the CLI, scripts) call :func:`configure_logging` with a
+verbosity count: 0 -> WARNING (the quiet default), 1 (``-v``) -> INFO,
+2+ (``-vv``) -> DEBUG.  Reconfiguring is idempotent: the previous handler
+installed by this module is replaced, not stacked, so repeated CLI
+invocations inside one process (tests) never multiply log lines.
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Optional
+
+#: Root of the package's logger hierarchy.
+ROOT_LOGGER_NAME = "repro"
+
+#: Verbosity count -> logging level.
+_LEVELS = {0: logging.WARNING, 1: logging.INFO}
+
+#: The handler configure_logging installed (replaced on reconfiguration).
+_installed_handler: Optional[logging.Handler] = None
+
+# The library must never print "No handlers could be found" nor write
+# anywhere by itself; NullHandler is attached at import time.
+logging.getLogger(ROOT_LOGGER_NAME).addHandler(logging.NullHandler())
+
+
+def get_logger(name: str = "") -> logging.Logger:
+    """A logger under the ``repro`` hierarchy (``name`` may be dotted)."""
+    if not name:
+        return logging.getLogger(ROOT_LOGGER_NAME)
+    if name.startswith(ROOT_LOGGER_NAME + ".") or name == ROOT_LOGGER_NAME:
+        return logging.getLogger(name)
+    return logging.getLogger(f"{ROOT_LOGGER_NAME}.{name}")
+
+
+def verbosity_level(verbosity: int) -> int:
+    """Map a ``-v`` count to a logging level (clamped at DEBUG)."""
+    return _LEVELS.get(max(0, int(verbosity)), logging.DEBUG)
+
+
+def configure_logging(verbosity: int = 0, stream=None) -> logging.Logger:
+    """Attach a stream handler to the ``repro`` root at the given verbosity.
+
+    Returns the configured root logger.  Safe to call repeatedly (the
+    handler this module installed before is swapped out) and deliberately
+    scoped to the package hierarchy -- the global root logger and other
+    libraries' loggers are untouched.
+    """
+    global _installed_handler
+    root = logging.getLogger(ROOT_LOGGER_NAME)
+    level = verbosity_level(verbosity)
+    handler = logging.StreamHandler(stream if stream is not None else sys.stderr)
+    handler.setFormatter(
+        logging.Formatter("%(asctime)s %(levelname)-7s %(name)s: %(message)s")
+    )
+    if _installed_handler is not None:
+        root.removeHandler(_installed_handler)
+    root.addHandler(handler)
+    root.setLevel(level)
+    _installed_handler = handler
+    return root

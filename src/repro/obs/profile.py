@@ -1,0 +1,157 @@
+"""cProfile-based profiling hooks: where does a search actually spend time?
+
+ROADMAP item 2 (vectorising ``core/expand.py``) demands "a profiling pass
+first ... publish where the time actually goes".  :func:`profile_search`
+runs any search callable under :mod:`cProfile` and returns a
+:class:`ProfileReport` whose hot-function breakdown is plain data -- it
+feeds the benchmark fixture that persists ``BENCH_profile_expand.json``,
+prints as a table, and filters by module so the expansion kernel's share is
+one expression away.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import pstats
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+
+@dataclass(frozen=True)
+class HotFunction:
+    """One row of the hot-function breakdown."""
+
+    function: str
+    module: str
+    line: int
+    calls: int
+    total_seconds: float  # time inside the function itself
+    cumulative_seconds: float  # including callees
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "function": self.function,
+            "module": self.module,
+            "line": self.line,
+            "calls": self.calls,
+            "total_seconds": self.total_seconds,
+            "cumulative_seconds": self.cumulative_seconds,
+        }
+
+
+@dataclass
+class ProfileReport:
+    """The outcome of one profiled run: the return value plus the breakdown."""
+
+    result: object
+    wall_seconds: float
+    functions: List[HotFunction]
+
+    def hot_functions(self, limit: int = 15, module: Optional[str] = None) -> List[HotFunction]:
+        """Top functions by own (total) time, optionally filtered by module."""
+        rows = self.functions
+        if module is not None:
+            rows = [row for row in rows if module in row.module]
+        return rows[:limit]
+
+    def seconds_in(self, module: str) -> float:
+        """Own-time seconds spent in functions whose module path contains ``module``."""
+        return sum(row.total_seconds for row in self.functions if module in row.module)
+
+    def share_of(self, module: str) -> float:
+        """Fraction of profiled own-time attributed to ``module`` (0..1)."""
+        total = sum(row.total_seconds for row in self.functions)
+        return self.seconds_in(module) / total if total else 0.0
+
+    def as_dict(self, limit: int = 20) -> Dict[str, object]:
+        return {
+            "wall_seconds": self.wall_seconds,
+            "hot_functions": [row.as_dict() for row in self.hot_functions(limit)],
+        }
+
+    def format_table(self, limit: int = 15, module: Optional[str] = None) -> str:
+        rows = self.hot_functions(limit=limit, module=module)
+        lines = [
+            f"{'tottime':>9s} {'cumtime':>9s} {'calls':>9s}  function",
+        ]
+        for row in rows:
+            location = f"{row.module}:{row.line}" if row.line else row.module
+            lines.append(
+                f"{row.total_seconds:9.4f} {row.cumulative_seconds:9.4f} "
+                f"{row.calls:9d}  {row.function} ({location})"
+            )
+        return "\n".join(lines)
+
+
+def _strip_path(filename: str) -> str:
+    """Shorten an absolute module path to its package-relative tail."""
+    for anchor in ("site-packages/", "/src/", "lib/python"):
+        index = filename.rfind(anchor)
+        if index >= 0:
+            tail = filename[index + len(anchor) :]
+            if anchor == "lib/python":
+                # 'lib/python3.11/heapq.py' -> 'heapq.py'
+                slash = tail.find("/")
+                tail = tail[slash + 1 :] if slash >= 0 else tail
+            return tail
+    return filename
+
+
+def profile_call(fn: Callable, *args, **kwargs) -> ProfileReport:
+    """Run ``fn(*args, **kwargs)`` under cProfile and collect the breakdown."""
+    profiler = cProfile.Profile()
+    profiler.enable()
+    try:
+        result = fn(*args, **kwargs)
+    finally:
+        profiler.disable()
+    stats = pstats.Stats(profiler)
+    functions: List[HotFunction] = []
+    for (filename, line, name), (
+        _primitive_calls,
+        calls,
+        total,
+        cumulative,
+        _callers,
+    ) in stats.stats.items():  # type: ignore[attr-defined]
+        functions.append(
+            HotFunction(
+                function=name,
+                module=_strip_path(filename),
+                line=line,
+                calls=calls,
+                total_seconds=total,
+                cumulative_seconds=cumulative,
+            )
+        )
+    functions.sort(key=lambda row: row.total_seconds, reverse=True)
+    wall = stats.total_tt  # type: ignore[attr-defined]
+    return ProfileReport(result=result, wall_seconds=wall, functions=functions)
+
+
+def profile_search(engine, query: str, **search_kwargs) -> ProfileReport:
+    """Profile one ``engine.search(query, ...)`` call.
+
+    Works with any object exposing the engine searching surface
+    (:class:`~repro.core.engine.OasisEngine`,
+    :class:`~repro.sharding.ShardedEngine`, a workload adapter with
+    ``search``).  The report's ``result`` is the
+    :class:`~repro.core.results.SearchResult`.
+
+    Profile under the serial regime for honest attribution: a thread-pool
+    scatter charges pool-internal waiting to the profiler's caller thread,
+    and a process scatter hides the work in children entirely.
+    """
+    return profile_call(engine.search, query, **search_kwargs)
+
+
+def profile_workload(engine, queries, **search_kwargs) -> ProfileReport:
+    """Profile a whole sequence of serial searches (one aggregated report)."""
+
+    def run() -> int:
+        hits = 0
+        for query in queries:
+            hits += len(engine.search(query, **search_kwargs))
+        return hits
+
+    return profile_call(run)

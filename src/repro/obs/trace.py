@@ -1,0 +1,310 @@
+"""Hierarchical trace spans: where the time of one request actually went.
+
+A :class:`Tracer` hands out :class:`Span` context managers.  Each finished
+span becomes an immutable :class:`SpanRecord` -- name, ids, parent link,
+wall/CPU timing and free-form attributes -- collected on the tracer and
+exportable through :mod:`repro.obs.exporters` (human-readable tree,
+JSON-lines file, in-memory sink).
+
+Two properties matter for this codebase:
+
+* **Cross-thread and cross-process coherence.**  Parent links default to the
+  calling thread's innermost open span, but a caller can pass an explicit
+  ``parent_id`` -- which is how a scatter-gather engine parents per-shard
+  spans (running on pool threads) under the query span (opened on the
+  caller's thread).  For process backends, a worker builds its *own* tracer
+  from a :class:`TraceContext` shipped inside the task, records spans with
+  the inherited ``trace_id``/parent id, and returns them as plain dicts; the
+  parent :meth:`Tracer.adopt`\\ s them, so one query yields one coherent tree
+  no matter which processes produced its pieces.
+
+* **Zero cost when disabled.**  Every instrumented call site takes
+  ``tracer=None`` (the default) and guards with one ``is None`` check; no
+  object is allocated, no clock is read.  The overhead budget (<= 2% on a
+  full search workload) is asserted by ``benchmarks/test_bench_telemetry.py``.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+#: Attribute value types that survive a JSON round trip unchanged.
+AttributeValue = object
+
+_SPAN_COUNTER = itertools.count(1)
+_TRACE_COUNTER = itertools.count(1)
+
+
+def _new_id(counter) -> str:
+    """A process-unique id; the pid prefix keeps worker ids collision-free."""
+    return f"{os.getpid():x}-{next(counter):x}"
+
+
+@dataclass
+class SpanRecord:
+    """One finished span, as plain data (JSON- and pickle-friendly)."""
+
+    name: str
+    span_id: str
+    trace_id: str
+    parent_id: Optional[str]
+    #: Wall-clock epoch seconds at which the span started (``time.time()``:
+    #: comparable across processes, unlike the monotonic clock).
+    start_epoch: float
+    wall_seconds: float
+    cpu_seconds: float
+    attributes: Dict[str, AttributeValue] = field(default_factory=dict)
+    status: str = "ok"
+    #: Process id of the process that recorded the span -- makes worker
+    #: provenance visible in the exported tree.
+    pid: int = 0
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "trace_id": self.trace_id,
+            "parent_id": self.parent_id,
+            "start_epoch": self.start_epoch,
+            "wall_seconds": self.wall_seconds,
+            "cpu_seconds": self.cpu_seconds,
+            "attributes": dict(self.attributes),
+            "status": self.status,
+            "pid": self.pid,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "SpanRecord":
+        return cls(
+            name=str(data["name"]),
+            span_id=str(data["span_id"]),
+            trace_id=str(data["trace_id"]),
+            parent_id=(None if data.get("parent_id") is None else str(data["parent_id"])),
+            start_epoch=float(data["start_epoch"]),
+            wall_seconds=float(data["wall_seconds"]),
+            cpu_seconds=float(data["cpu_seconds"]),
+            attributes=dict(data.get("attributes", {})),  # type: ignore[arg-type]
+            status=str(data.get("status", "ok")),
+            pid=int(data.get("pid", 0)),
+        )
+
+
+class Span:
+    """An open span; use as a context manager or close explicitly.
+
+    Spans are cheap but not free: the hot search loop never opens one per
+    node -- spans wrap whole phases (a query, a shard, a merge, an index
+    build, a buffer-pool miss when I/O spans are enabled).
+    """
+
+    __slots__ = (
+        "tracer",
+        "name",
+        "span_id",
+        "trace_id",
+        "parent_id",
+        "attributes",
+        "status",
+        "_start_epoch",
+        "_start_wall",
+        "_start_cpu",
+        "_closed",
+    )
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        parent_id: Optional[str],
+        attributes: Dict[str, AttributeValue],
+    ):
+        self.tracer = tracer
+        self.name = name
+        self.span_id = _new_id(_SPAN_COUNTER)
+        self.trace_id = tracer.trace_id
+        self.parent_id = parent_id
+        self.attributes = attributes
+        self.status = "ok"
+        self._start_epoch = time.time()
+        self._start_wall = time.perf_counter()
+        self._start_cpu = time.process_time()
+        self._closed = False
+
+    def set_attribute(self, key: str, value: AttributeValue) -> None:
+        self.attributes[key] = value
+
+    def __enter__(self) -> "Span":
+        self.tracer._push(self)
+        return self
+
+    def __exit__(self, exc_type, exc, _traceback) -> None:
+        if exc is not None:
+            self.status = "error"
+            self.attributes.setdefault("error", f"{type(exc).__name__}: {exc}")
+        self.tracer._pop(self)
+        self.finish()
+
+    def finish(self) -> None:
+        """Close the span (idempotent) and hand the record to the tracer."""
+        if self._closed:
+            return
+        self._closed = True
+        self.tracer._record(
+            SpanRecord(
+                name=self.name,
+                span_id=self.span_id,
+                trace_id=self.trace_id,
+                parent_id=self.parent_id,
+                start_epoch=self._start_epoch,
+                wall_seconds=time.perf_counter() - self._start_wall,
+                cpu_seconds=time.process_time() - self._start_cpu,
+                attributes=self.attributes,
+                status=self.status,
+                pid=os.getpid(),
+            )
+        )
+
+    def __repr__(self) -> str:
+        return f"Span({self.name!r}, id={self.span_id}, parent={self.parent_id})"
+
+
+#: Sentinel distinguishing "no parent given" from "explicitly a root span".
+_UNSET = object()
+
+
+class Tracer:
+    """Collects spans (and owns the metrics registry) for one telemetry scope.
+
+    Parameters
+    ----------
+    trace_id:
+        Inherit an existing trace (worker processes do, via
+        :class:`TraceContext`); a fresh id is generated otherwise.
+    metrics:
+        The :class:`~repro.obs.metrics.MetricsRegistry` instrumented code
+        records into; one is created by default so ``Tracer()`` is a complete
+        telemetry hub.
+    io_spans:
+        When ``True``, per-miss buffer-pool spans are recorded.  Off by
+        default: a cold scan over a large image can miss tens of thousands
+        of times, and a span per miss would dwarf the tree it annotates --
+        the pool's metrics counters capture the same information cheaply.
+    """
+
+    def __init__(
+        self,
+        trace_id: Optional[str] = None,
+        metrics=None,
+        io_spans: bool = False,
+    ):
+        if metrics is None:
+            from repro.obs.metrics import MetricsRegistry
+
+            metrics = MetricsRegistry()
+        self.trace_id = trace_id or _new_id(_TRACE_COUNTER)
+        self.metrics = metrics
+        self.io_spans = bool(io_spans)
+        self.finished: List[SpanRecord] = []
+        self._lock = threading.Lock()
+        self._local = threading.local()
+
+    # ------------------------------------------------------------------ #
+    # Span creation
+    # ------------------------------------------------------------------ #
+    def span(self, name: str, parent_id=_UNSET, **attributes) -> Span:
+        """Open a span; parent defaults to this thread's innermost open span.
+
+        Pass ``parent_id=None`` to force a root span, or an explicit id to
+        stitch work running on another thread under its logical parent.
+        """
+        if parent_id is _UNSET:
+            parent_id = self.current_span_id
+        return Span(self, name, parent_id, dict(attributes))
+
+    @property
+    def current_span_id(self) -> Optional[str]:
+        stack = getattr(self._local, "stack", None)
+        return stack[-1].span_id if stack else None
+
+    def _push(self, span: Span) -> None:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        stack.append(span)
+
+    def _pop(self, span: Span) -> None:
+        stack = getattr(self._local, "stack", None)
+        if stack and stack[-1] is span:
+            stack.pop()
+        elif stack and span in stack:
+            # Out-of-order close (interleaved generators on one thread):
+            # remove without disturbing the others.
+            stack.remove(span)
+
+    def _record(self, record: SpanRecord) -> None:
+        with self._lock:
+            self.finished.append(record)
+
+    # ------------------------------------------------------------------ #
+    # Cross-process stitching
+    # ------------------------------------------------------------------ #
+    def context(self, parent_id: Optional[str] = None) -> "TraceContext":
+        """A picklable handle a worker process rebuilds its tracer from."""
+        return TraceContext(
+            trace_id=self.trace_id,
+            parent_id=parent_id if parent_id is not None else self.current_span_id,
+            io_spans=self.io_spans,
+        )
+
+    def adopt(self, records: Sequence[object]) -> None:
+        """Fold span records produced elsewhere (worker payloads) in.
+
+        Accepts :class:`SpanRecord` objects or their ``to_dict`` forms; the
+        records keep the ids they were born with -- a worker built from a
+        :class:`TraceContext` already carries this trace's ``trace_id`` and
+        a parent id that resolves locally, so adopted spans slot straight
+        into the tree.
+        """
+        converted = [
+            record if isinstance(record, SpanRecord) else SpanRecord.from_dict(record)
+            for record in records
+        ]
+        with self._lock:
+            self.finished.extend(converted)
+
+    # ------------------------------------------------------------------ #
+    # Export
+    # ------------------------------------------------------------------ #
+    def records(self) -> List[SpanRecord]:
+        """A snapshot of every finished span, in completion order."""
+        with self._lock:
+            return list(self.finished)
+
+    def export(self, exporter) -> None:
+        """Hand every finished span to an exporter (``write(records)``)."""
+        exporter.write(self.records())
+
+    def clear(self) -> None:
+        with self._lock:
+            self.finished.clear()
+
+    def __repr__(self) -> str:
+        return f"Tracer(trace_id={self.trace_id!r}, spans={len(self.finished)})"
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """The picklable seed of a worker-side tracer (ships inside tasks)."""
+
+    trace_id: str
+    parent_id: Optional[str]
+    io_spans: bool = False
+
+    def tracer(self, metrics=None) -> Tracer:
+        """Build the worker-side tracer continuing this trace."""
+        return Tracer(trace_id=self.trace_id, metrics=metrics, io_spans=self.io_spans)

@@ -1,0 +1,42 @@
+"""Validate a JSON-lines trace file: ``python -m repro.obs.validate FILE``.
+
+Exit code 0 when the file parses and passes :func:`~repro.obs.exporters.
+validate_trace` (schema fields, unique span ids, resolvable parents, a
+root, one trace id, no cycles); 1 otherwise, with one problem per stderr
+line.  This is the schema check the CI smoke leg runs against the trace a
+sharded ``search --trace`` emitted.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import List, Optional
+
+from repro.obs.exporters import read_jsonl, render_span_tree, validate_trace
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    show_tree = "--tree" in argv
+    paths = [arg for arg in argv if not arg.startswith("--")]
+    if len(paths) != 1:
+        print("usage: python -m repro.obs.validate [--tree] TRACE.jsonl", file=sys.stderr)
+        return 2
+    try:
+        records = read_jsonl(paths[0])
+    except (OSError, ValueError, KeyError) as error:
+        print(f"unreadable trace {paths[0]}: {error}", file=sys.stderr)
+        return 1
+    problems = validate_trace(records)
+    if problems:
+        for problem in problems:
+            print(problem, file=sys.stderr)
+        return 1
+    if show_tree:
+        print(render_span_tree(records))
+    print(f"ok: {len(records)} spans, trace {records[0].trace_id}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess in CI
+    sys.exit(main())

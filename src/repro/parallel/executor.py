@@ -37,6 +37,9 @@ from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple, Un
 from repro.core.oasis import OasisSearchStatistics
 from repro.core.results import SearchResult
 from repro.exec import BackendSpec, ExecutionBackend, resolve_backend
+from repro.obs.logsetup import get_logger
+
+logger = get_logger(__name__)
 
 #: Default fan-out width; matches the paper-era "handful of concurrent
 #: clients" and keeps the GIL contention of CPU-bound phases modest.
@@ -311,6 +314,7 @@ class BatchSearchExecutor:
         workers: int = DEFAULT_WORKERS,
         timeout: Optional[float] = None,
         backend: Union[str, BackendSpec, ExecutionBackend, None] = None,
+        tracer=None,
     ):
         if workers < 1:
             raise ValueError("workers must be at least 1")
@@ -318,6 +322,12 @@ class BatchSearchExecutor:
             raise ValueError("timeout must be positive")
         self._run_query = run_query
         self.timeout = timeout
+        #: Telemetry: each run is wrapped in a ``batch`` span, the fan-out
+        #: backend records task latency / queue depth, and runners built by
+        #: :meth:`for_engine` parent their per-query spans under the batch
+        #: span (see ``accepts_trace_parent``).
+        self.tracer = tracer
+        self._batch_parent: Optional[str] = None
         self._shared_backend: Optional[ExecutionBackend] = None
         if isinstance(backend, ExecutionBackend):
             self._shared_backend = backend
@@ -371,6 +381,7 @@ class BatchSearchExecutor:
         workers: int = DEFAULT_WORKERS,
         timeout: Optional[float] = None,
         backend: Union[str, BackendSpec, ExecutionBackend, None] = None,
+        tracer=None,
         **search_kwargs,
     ) -> "BatchSearchExecutor":
         """Executor over an :class:`~repro.core.engine.OasisEngine`.
@@ -383,15 +394,25 @@ class BatchSearchExecutor:
             query: str,
             time_budget: Optional[float],
             cancel_event: Optional[threading.Event],
+            trace_parent: Optional[str] = None,
         ) -> SearchResult:
-            return engine.execute(
+            execution = engine.execute(
                 query,
                 time_budget=time_budget,
                 cancel_event=cancel_event,
+                tracer=tracer,
                 **search_kwargs,
-            ).result()
+            )
+            if trace_parent is not None:
+                # The query runs on a pool thread; parent its span under the
+                # batch span by explicit id rather than thread-local nesting.
+                execution.trace_parent = trace_parent
+            return execution.result()
 
-        return cls(run_query, workers=workers, timeout=timeout, backend=backend)
+        run_query.accepts_trace_parent = True  # type: ignore[attr-defined]
+        return cls(
+            run_query, workers=workers, timeout=timeout, backend=backend, tracer=tracer
+        )
 
     @classmethod
     def for_adapter(
@@ -400,8 +421,14 @@ class BatchSearchExecutor:
         workers: int = DEFAULT_WORKERS,
         timeout: Optional[float] = None,
         backend: Union[str, BackendSpec, ExecutionBackend, None] = None,
+        tracer=None,
     ) -> "BatchSearchExecutor":
-        """Executor over a workload :class:`~repro.workloads.engines.EngineAdapter`."""
+        """Executor over a workload :class:`~repro.workloads.engines.EngineAdapter`.
+
+        ``tracer`` wraps the run in a batch span and instruments the fan-out
+        backend; per-query spans need the engine path (:meth:`for_engine`),
+        since adapters own their search invocation.
+        """
 
         def run_query(
             query: str,
@@ -412,7 +439,9 @@ class BatchSearchExecutor:
                 query, time_budget=time_budget, cancel_event=cancel_event
             )
 
-        return cls(run_query, workers=workers, timeout=timeout, backend=backend)
+        return cls(
+            run_query, workers=workers, timeout=timeout, backend=backend, tracer=tracer
+        )
 
     # ------------------------------------------------------------------ #
     # Running
@@ -450,7 +479,20 @@ class BatchSearchExecutor:
             # Fresh cancellation scope per run, so a previous run abandoned
             # mid-stream does not poison the next one.
             self._cancel = threading.Event()
+        tracer = self.tracer
+        span = None
+        if tracer is not None:
+            span = tracer.span(
+                "batch", backend=self.backend_spec, queries=len(query_list)
+            )
+            tracer._push(span)
+            self._batch_parent = span.span_id
         backend, owned = self._acquire_backend()
+        if tracer is not None:
+            backend.instrument(tracer)
+        logger.debug(
+            "batch of %d queries on %s", len(query_list), self.backend_spec
+        )
         stream = backend.map_unordered(self._execute_task, list(enumerate(query_list)))
         completed = 0
         try:
@@ -466,6 +508,16 @@ class BatchSearchExecutor:
             stream.close()
             if owned:
                 backend.close()
+            elif tracer is not None:
+                # A shared backend outlives this run; detach its instruments.
+                backend.instrument(None)
+            if span is not None:
+                span.set_attribute("completed", completed)
+                if completed < len(query_list):
+                    span.set_attribute("abandoned", True)
+                self._batch_parent = None
+                tracer._pop(span)
+                span.finish()
 
     def run(self, queries: Iterable[str]) -> BatchSearchReport:
         """Run the whole batch and collect a report (input-order outcomes).
@@ -496,7 +548,14 @@ class BatchSearchExecutor:
             return BatchQueryOutcome(index=index, query=query, aborted=True)
         start = time.perf_counter()
         try:
-            result = self._run_query(query, self.timeout, self._cancel)
+            if self._batch_parent is not None and getattr(
+                self._run_query, "accepts_trace_parent", False
+            ):
+                result = self._run_query(
+                    query, self.timeout, self._cancel, trace_parent=self._batch_parent
+                )
+            else:
+                result = self._run_query(query, self.timeout, self._cancel)
         except Exception as error:  # noqa: BLE001 - captured per query
             return BatchQueryOutcome(
                 index=index,

@@ -16,6 +16,7 @@ import os
 from typing import Optional, Union
 
 from repro.exec import BackendSpec, ExecutionBackend, resolve_backend
+from repro.obs.logsetup import get_logger
 from repro.scoring.gaps import FixedGapModel, GapModel
 from repro.scoring.matrix import SubstitutionMatrix
 from repro.sequences.database import SequenceDatabase
@@ -32,6 +33,8 @@ from repro.sharding.remote import ShardBuildTask, run_shard_build
 from repro.storage.blocks import BLOCK_SIZE_DEFAULT
 
 PathLike = Union[str, os.PathLike]
+
+logger = get_logger(__name__)
 
 
 class ShardedIndexBuilder:
@@ -84,6 +87,7 @@ class ShardedIndexBuilder:
         database: SequenceDatabase,
         directory: PathLike,
         write_database: bool = True,
+        tracer=None,
     ) -> ShardCatalog:
         """Build every shard image under ``directory`` and write the catalog.
 
@@ -93,11 +97,36 @@ class ShardedIndexBuilder:
 
         Shard builds run through the configured backend; the catalog is
         written only after every image exists, and its entries are in shard
-        order regardless of the order the builds finished in.
+        order regardless of the order the builds finished in.  Pass a
+        :class:`~repro.obs.Tracer` to wrap the build in an ``index_build``
+        span (with per-shard child spans on in-process backends; process
+        builds ship bare picklable tasks and stay span-free).
         """
+        if tracer is None:
+            return self._build(database, directory, write_database, None)
+        with tracer.span(
+            "index_build", shards=self.planner.shard_count, database=database.name
+        ) as span:
+            catalog = self._build(database, directory, write_database, tracer)
+            span.set_attribute("total_residues", database.total_symbols)
+            return catalog
+
+    def _build(
+        self,
+        database: SequenceDatabase,
+        directory: PathLike,
+        write_database: bool,
+        tracer,
+    ) -> ShardCatalog:
         directory = str(directory)
         os.makedirs(directory, exist_ok=True)
         plan = self.planner.plan(database)
+        logger.info(
+            "building sharded index at %s (%d shards, block_size=%d)",
+            directory,
+            len(plan.specs),
+            self.block_size,
+        )
 
         tasks = []
         entries = []
@@ -125,12 +154,26 @@ class ShardedIndexBuilder:
         backend, owned = resolve_backend(
             self.backend, default="serial", default_workers=len(tasks)
         )
+        run_task = run_shard_build
+        if tracer is not None and backend.kind != "processes":
+            # In-process backends get per-shard child spans (parented by
+            # explicit id: thread-pool workers do not inherit the caller's
+            # stack).  Process backends ship bare picklable tasks -- a span
+            # closure would not pickle -- so they stay at the build span.
+            parent_id = tracer.current_span_id
+
+            def run_task(task):  # noqa: ANN001 - mirrors run_shard_build
+                with tracer.span(
+                    "shard_build", parent_id=parent_id, image=task.image_name
+                ):
+                    return run_shard_build(task)
+
         futures = []
         try:
             # Submit everything up front, then gather in shard order: the
             # backend decides the concurrency, the catalog order stays
             # deterministic either way.
-            futures = [backend.submit(run_shard_build, task) for task in tasks]
+            futures = [backend.submit(run_task, task) for task in tasks]
             for future in futures:
                 future.result()
         finally:
@@ -170,6 +213,7 @@ def build_sharded_index(
     block_size: int = BLOCK_SIZE_DEFAULT,
     max_partition_size: Optional[int] = None,
     backend: Union[str, BackendSpec, ExecutionBackend, None] = None,
+    tracer=None,
 ) -> ShardCatalog:
     """Functional one-shot wrapper around :class:`ShardedIndexBuilder`."""
     builder = ShardedIndexBuilder(
@@ -181,4 +225,4 @@ def build_sharded_index(
         backend=backend,
         **({"max_partition_size": max_partition_size} if max_partition_size else {}),
     )
-    return builder.build(database, directory)
+    return builder.build(database, directory, tracer=tracer)

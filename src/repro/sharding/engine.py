@@ -40,6 +40,7 @@ from repro.core.evalue import SelectivityConverter
 from repro.core.oasis import OasisSearchStatistics, QueryExecution
 from repro.core.results import SearchHit, SearchResult, hit_order_key
 from repro.exec import BackendSpec, ExecutionBackend, resolve_backend
+from repro.obs.logsetup import get_logger
 from repro.scoring.gaps import FixedGapModel, GapModel
 from repro.scoring.matrix import SubstitutionMatrix
 from repro.sequences.database import SequenceDatabase
@@ -60,6 +61,8 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 PathLike = Union[str, os.PathLike]
 
+logger = get_logger(__name__)
+
 
 class ShardedQueryExecution:
     """One query scattered across every shard, gathered into one result.
@@ -78,12 +81,17 @@ class ShardedQueryExecution:
         query: str,
         max_results: Optional[int],
         time_budget: Optional[float] = None,
+        tracer=None,
     ):
         self.engine = engine
         self.executions = executions
         self.query = query
         self.max_results = max_results
         self.time_budget = time_budget
+        self.tracer = tracer
+        #: Explicit parent for the query span (a batch executor sets it so
+        #: queries running on pool threads still nest under the batch span).
+        self.trace_parent: Optional[str] = None
         self._iterator: Optional[Iterator[SearchHit]] = None
         self._collected: List[SearchHit] = []
         self._start_time: Optional[float] = None
@@ -116,8 +124,18 @@ class ShardedQueryExecution:
             merged.pruned_dominated += shard.pruned_dominated
             merged.pruned_threshold += shard.pruned_threshold
             merged.max_queue_size = max(merged.max_queue_size, shard.max_queue_size)
+            merged.buffer_hits += shard.buffer_hits
+            merged.buffer_misses += shard.buffer_misses
+            merged.buffer_evictions += shard.buffer_evictions
         merged.elapsed_seconds = self._wall_seconds
         return merged
+
+    def _label_shard_executions(self, parent_id: Optional[str]) -> None:
+        """Re-label each shard execution's span before any of them starts."""
+        for shard, execution in enumerate(self.executions):
+            execution.trace_name = "shard"
+            execution.trace_parent = parent_id
+            execution.trace_attributes = {"shard": shard}
 
     def abort(self) -> None:
         for execution in self.executions:
@@ -164,6 +182,21 @@ class ShardedQueryExecution:
         """
         self._start_time = time.perf_counter()
         self._pin_deadline()
+        span = None
+        if self.tracer is not None:
+            if self.trace_parent is not None:
+                span = self.tracer.span(
+                    "query",
+                    parent_id=self.trace_parent,
+                    shards=len(self.executions),
+                    streaming=True,
+                )
+            else:
+                span = self.tracer.span(
+                    "query", shards=len(self.executions), streaming=True
+                )
+            self.tracer._push(span)
+            self._label_shard_executions(span.span_id)
         streams = [
             self._shard_stream(shard, execution)
             for shard, execution in enumerate(self.executions)
@@ -185,11 +218,28 @@ class ShardedQueryExecution:
             # and an abandoned merge cannot silently resume work later.
             for execution in self.executions:
                 execution.close()
+            if span is not None:
+                span.set_attribute("hits", len(self._collected))
+                self.tracer._pop(span)
+                span.finish()
 
     def close(self) -> None:
         """Abandon the merged stream (and with it every shard stream)."""
         if self._iterator is not None:
             self._iterator.close()
+
+    def _merge_hits(self, shard_results: List[SearchResult]) -> List[SearchHit]:
+        """Remap shard-local hits to global indices and order canonically."""
+        hits: List[SearchHit] = []
+        for shard, result in enumerate(shard_results):
+            offset = self.engine.sequence_offset(shard)
+            for hit in result.hits:
+                hit.sequence_index += offset
+                hits.append(hit)
+        hits.sort(key=hit_order_key)
+        if self.max_results is not None:
+            hits = hits[: self.max_results]
+        return hits
 
     # ------------------------------------------------------------------ #
     # Batch interface
@@ -212,18 +262,38 @@ class ShardedQueryExecution:
                 pass
             hits = list(self._collected)
         else:
-            self._pin_deadline()
-            shard_results = self.engine._scatter(self.executions)
-            self._wall_seconds = time.perf_counter() - start
-            hits = []
-            for shard, result in enumerate(shard_results):
-                offset = self.engine.sequence_offset(shard)
-                for hit in result.hits:
-                    hit.sequence_index += offset
-                    hits.append(hit)
-            hits.sort(key=hit_order_key)
-            if self.max_results is not None:
-                hits = hits[: self.max_results]
+            span = None
+            tracer = self.tracer
+            if tracer is not None:
+                if self.trace_parent is not None:
+                    span = tracer.span(
+                        "query",
+                        parent_id=self.trace_parent,
+                        shards=len(self.executions),
+                    )
+                else:
+                    span = tracer.span("query", shards=len(self.executions))
+                tracer._push(span)
+                # Shard executions may run on pool threads (or in worker
+                # processes); their spans parent under the query span by
+                # explicit id, not by thread-local nesting.
+                self._label_shard_executions(span.span_id)
+            try:
+                self._pin_deadline()
+                shard_results = self.engine._scatter(self.executions)
+                self._wall_seconds = time.perf_counter() - start
+                if span is None:
+                    hits = self._merge_hits(shard_results)
+                else:
+                    with tracer.span("merge", parent_id=span.span_id) as merge_span:
+                        hits = self._merge_hits(shard_results)
+                        merge_span.set_attribute("hits", len(hits))
+            finally:
+                if span is not None:
+                    span.set_attribute("timed_out", self.timed_out)
+                    span.set_attribute("aborted", self.aborted)
+                    tracer._pop(span)
+                    span.finish()
 
         # Per-shard hit counts reflect the *merged* result: with max_results,
         # a shard's emitted top-k may exceed what survives the global
@@ -232,6 +302,19 @@ class ShardedQueryExecution:
         offsets = self.engine._offsets
         for hit in hits:
             survived[bisect_right(offsets, hit.sequence_index) - 1] += 1
+
+        shard_stats = [
+            {
+                "shard": shard,
+                "hits": survived[shard],
+                "columns_expanded": execution.statistics.columns_expanded,
+                "nodes_expanded": execution.statistics.nodes_expanded,
+                "elapsed_seconds": execution.statistics.elapsed_seconds,
+                "timed_out": execution.timed_out,
+                "aborted": execution.aborted,
+            }
+            for shard, execution in enumerate(self.executions)
+        ]
 
         merged = SearchResult(
             query=self.query.upper(),
@@ -247,16 +330,7 @@ class ShardedQueryExecution:
                 "gap": self.engine.gap_model.per_symbol,
                 "max_results": self.max_results,
                 "shards": len(self.executions),
-                "shard_stats": [
-                    {
-                        "shard": shard,
-                        "hits": survived[shard],
-                        "columns_expanded": execution.statistics.columns_expanded,
-                        "nodes_expanded": execution.statistics.nodes_expanded,
-                        "elapsed_seconds": execution.statistics.elapsed_seconds,
-                    }
-                    for shard, execution in enumerate(self.executions)
-                ],
+                "shard_stats": shard_stats,
             },
             statistics=self.statistics,
         )
@@ -429,6 +503,11 @@ class ShardedEngine:
             # engine constructor would raise the same error afterwards.
             raise ValueError(_PROCESS_NEEDS_CATALOG)
         plan = ShardPlanner(shard_count, by=by).plan(database)
+        logger.info(
+            "building in-memory sharded engine for %s (%d shards)",
+            database.name,
+            len(plan.specs),
+        )
         converter = SelectivityConverter(
             matrix, database, effective_database_size=database.total_symbols
         )
@@ -521,6 +600,12 @@ class ShardedEngine:
 
         directory = str(directory)
         catalog = ShardCatalog.load(directory)
+        logger.info(
+            "opening sharded index at %s (%d shards, pool budget %d bytes)",
+            directory,
+            len(catalog.shards),
+            buffer_pool_bytes,
+        )
 
         if matrix is None:
             matrix = load_matrix(catalog.matrix_name)
@@ -629,6 +714,7 @@ class ShardedEngine:
         compute_alignments: bool = False,
         time_budget: Optional[float] = None,
         cancel_event: Optional[threading.Event] = None,
+        tracer=None,
     ) -> ShardedQueryExecution:
         """Create one (unstarted) per-shard execution per shard.
 
@@ -649,11 +735,12 @@ class ShardedEngine:
                 compute_alignments=compute_alignments,
                 time_budget=time_budget,
                 cancel_event=cancel_event,
+                tracer=tracer,
             )
             for shard in self.shards
         ]
         return ShardedQueryExecution(
-            self, executions, query, max_results, time_budget=time_budget
+            self, executions, query, max_results, time_budget=time_budget, tracer=tracer
         )
 
     def search(
@@ -663,6 +750,7 @@ class ShardedEngine:
         evalue: Optional[float] = None,
         max_results: Optional[int] = None,
         compute_alignments: bool = False,
+        tracer=None,
     ) -> SearchResult:
         """Scatter the query across all shards, gather one merged result."""
         return self.execute(
@@ -671,6 +759,7 @@ class ShardedEngine:
             evalue=evalue,
             max_results=max_results,
             compute_alignments=compute_alignments,
+            tracer=tracer,
         ).result()
 
     def search_online(
@@ -680,6 +769,7 @@ class ShardedEngine:
         evalue: Optional[float] = None,
         max_results: Optional[int] = None,
         compute_alignments: bool = False,
+        tracer=None,
     ) -> Iterator[SearchHit]:
         """Stream merged hits in globally decreasing canonical order."""
         return iter(
@@ -689,8 +779,19 @@ class ShardedEngine:
                 evalue=evalue,
                 max_results=max_results,
                 compute_alignments=compute_alignments,
+                tracer=tracer,
             )
         )
+
+    def instrument(self, tracer) -> None:
+        """Attach a tracer to every shard's buffer pool (``None`` detaches).
+
+        Only this engine's own cursors are instrumented; process-backend
+        workers hold their own cursors and instrument them per task from the
+        :class:`~repro.obs.TraceContext` shipped inside it.
+        """
+        for shard in self.shards:
+            shard.instrument(tracer)
 
     def search_many(
         self,
@@ -702,6 +803,7 @@ class ShardedEngine:
         compute_alignments: bool = False,
         timeout: Optional[float] = None,
         backend: Union[str, BackendSpec, ExecutionBackend, None] = None,
+        tracer=None,
     ) -> "BatchSearchReport":
         """Concurrent batch search: queries fan out over the batch backend
         (``backend`` spec, or ``workers`` threads by default) and each query
@@ -719,6 +821,7 @@ class ShardedEngine:
             evalue=evalue,
             max_results=max_results,
             compute_alignments=compute_alignments,
+            tracer=tracer,
         )
         return executor.run(queries)
 
@@ -772,6 +875,17 @@ class ShardedEngine:
         deadline_epoch: Optional[float] = None
         if first._deadline is not None:
             deadline_epoch = time.time() + (first._deadline - time.perf_counter())
+        trace_context = None
+        if first.tracer is not None:
+            # Workers continue the parent's trace: same trace_id, shard spans
+            # parented under the parent's query span.
+            trace_context = first.tracer.context(parent_id=first.trace_parent)
+        logger.debug(
+            "scattering query %r across %d shards via %s",
+            first.query,
+            len(executions),
+            self.backend_spec,
+        )
         tasks = [
             ShardSearchTask(
                 directory=str(self.directory),
@@ -794,6 +908,7 @@ class ShardedEngine:
                 database_digest=(
                     self.catalog.database_digest if self.catalog is not None else ""
                 ),
+                trace=trace_context,
             )
             for shard_index in range(len(executions))
         ]
@@ -852,6 +967,15 @@ class ShardedEngine:
             setattr(statistics, field, value)
         execution.timed_out = bool(payload["timed_out"])
         execution.aborted = bool(payload["aborted"])
+        if execution.tracer is not None:
+            # Stitch the worker's spans into the parent's trace and fold its
+            # metric counters (search.*, pool.*) into the parent's registry.
+            spans = payload.get("spans")
+            if spans:
+                execution.tracer.adopt(spans)
+            metrics_snapshot = payload.get("metrics")
+            if metrics_snapshot:
+                execution.tracer.metrics.merge_snapshot(metrics_snapshot)
         query_length = len(execution.query_sequence.codes)
         hits = []
         for local_index, identifier, score, packed_alignment in payload["hits"]:

@@ -24,6 +24,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.core.results import Alignment
+from repro.obs.trace import TraceContext
 
 #: Serialized hit: (shard-local sequence index, identifier, score, alignment).
 HitTuple = Tuple[int, str, int, Optional[tuple]]
@@ -64,6 +65,12 @@ class ShardSearchTask:
     sleep_on_miss: bool
     fingerprint: Optional[Dict[str, object]] = None
     database_digest: str = ""
+    #: Telemetry seed: when set, the worker builds its own tracer continuing
+    #: the parent's trace, records its shard span (parented under the
+    #: parent's query span) plus buffer-pool metrics, and returns both in the
+    #: payload for the parent to adopt/merge -- one coherent span tree per
+    #: query regardless of which processes produced its pieces.
+    trace: Optional[TraceContext] = None
 
 
 @dataclass(frozen=True)
@@ -204,6 +211,8 @@ def _timed_out_payload() -> dict:
         "statistics": {},
         "timed_out": True,
         "aborted": False,
+        "spans": [],
+        "metrics": {},
     }
 
 
@@ -251,14 +260,33 @@ def run_shard_search(task: ShardSearchTask) -> dict:
         time_budget = task.deadline_epoch - time.time()
         if time_budget <= 0:
             return _timed_out_payload()
-    execution = search.execute(
-        task.query,
-        min_score=task.min_score,
-        max_results=task.max_results,
-        compute_alignments=task.compute_alignments,
-        time_budget=time_budget,
-    )
-    result = execution.result()
+    tracer = None
+    if task.trace is not None:
+        tracer = task.trace.tracer()
+        instrument = getattr(search.cursor, "instrument", None)
+        if instrument is not None:
+            instrument(tracer)
+    try:
+        execution = search.execute(
+            task.query,
+            min_score=task.min_score,
+            max_results=task.max_results,
+            compute_alignments=task.compute_alignments,
+            time_budget=time_budget,
+            tracer=tracer,
+        )
+        if tracer is not None:
+            # The shard span slots under the parent's query span: the ids it
+            # was born with (pid-prefixed) stay valid when the parent adopts.
+            execution.trace_name = "shard"
+            execution.trace_parent = task.trace.parent_id
+            execution.trace_attributes = {"shard": task.shard_index}
+        result = execution.result()
+    finally:
+        if tracer is not None:
+            instrument = getattr(search.cursor, "instrument", None)
+            if instrument is not None:
+                instrument(None)
     hits: List[HitTuple] = [
         (
             hit.sequence_index,
@@ -268,12 +296,16 @@ def run_shard_search(task: ShardSearchTask) -> dict:
         )
         for hit in result.hits
     ]
-    return {
+    payload = {
         "hits": hits,
         "statistics": execution.statistics.as_dict(),
         "timed_out": execution.timed_out,
         "aborted": execution.aborted,
     }
+    if tracer is not None:
+        payload["spans"] = [record.to_dict() for record in tracer.records()]
+        payload["metrics"] = tracer.metrics.snapshot()
+    return payload
 
 
 def run_shard_build(task: ShardBuildTask) -> str:

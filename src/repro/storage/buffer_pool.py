@@ -36,10 +36,11 @@ class Region(enum.IntEnum):
 
 @dataclass
 class BufferPoolStatistics:
-    """Hit/miss counters, overall and per region."""
+    """Hit/miss/eviction counters, overall and per region."""
 
     hits: int = 0
     misses: int = 0
+    evictions: int = 0
     per_region_hits: Dict[Region, int] = field(
         default_factory=lambda: {region: 0 for region in Region}
     )
@@ -65,6 +66,7 @@ class BufferPoolStatistics:
     def reset(self) -> None:
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
         self.simulated_io_seconds = 0.0
         for region in Region:
             self.per_region_hits[region] = 0
@@ -76,6 +78,7 @@ class BufferPoolStatistics:
             "requests": self.requests,
             "hits": self.hits,
             "misses": self.misses,
+            "evictions": self.evictions,
             "hit_ratio": self.hit_ratio,
             "symbols_hit_ratio": self.region_hit_ratio(Region.SYMBOLS),
             "internal_hit_ratio": self.region_hit_ratio(Region.INTERNAL_NODES),
@@ -142,12 +145,42 @@ class BufferPool:
         self._page_table: Dict[Tuple[Region, int], int] = {}
         self._clock_hand = 0
         self.statistics = BufferPoolStatistics()
+        # Telemetry is attached (not constructed here) so the pool stays
+        # dependency-free; instruments are resolved once in instrument().
+        self._tracer = None
+        self._metric_hits = None
+        self._metric_misses = None
+        self._metric_evictions = None
         # The pool is shared by every concurrent query execution: the table
         # and frame metadata are guarded by one lock, while the physical read
         # (and in particular the simulated miss latency) happens *outside* it
         # so that concurrent misses overlap the way real disk reads would.
         self._lock = threading.RLock()
         self._io_lock = threading.Lock()
+
+    # ------------------------------------------------------------------ #
+    # Telemetry
+    # ------------------------------------------------------------------ #
+    def instrument(self, tracer) -> None:
+        """Attach a :class:`~repro.obs.Tracer`; ``None`` detaches.
+
+        Hit/miss/eviction counters are recorded into ``tracer.metrics``
+        (instruments resolved once here, so the page path pays one counter
+        increment, not a registry lookup).  When ``tracer.io_spans`` is set,
+        each physical read is additionally wrapped in a ``pool.miss`` span
+        -- useful for inspecting individual stalls, too voluminous to leave
+        on for whole workloads.
+        """
+        self._tracer = tracer
+        if tracer is None:
+            self._metric_hits = self._metric_misses = self._metric_evictions = None
+            return
+        metrics = tracer.metrics
+        self._metric_hits = metrics.counter("pool.hits", "buffer-pool page hits")
+        self._metric_misses = metrics.counter("pool.misses", "buffer-pool page misses")
+        self._metric_evictions = metrics.counter(
+            "pool.evictions", "buffer-pool frames evicted by the clock hand"
+        )
 
     # ------------------------------------------------------------------ #
     # Page access
@@ -162,16 +195,25 @@ class BufferPool:
                 frame.referenced = True
                 self.statistics.hits += 1
                 self.statistics.per_region_hits[region] += 1
+                if self._metric_hits is not None:
+                    self._metric_hits.inc()
                 return frame.data
             self.statistics.misses += 1
             self.statistics.per_region_misses[region] += 1
             if self.simulated_miss_latency:
                 self.statistics.simulated_io_seconds += self.simulated_miss_latency
+        if self._metric_misses is not None:
+            self._metric_misses.inc()
 
         # Two threads missing the same page may both read it; the second
         # install is a harmless refresh.  Keeping the read outside the pool
         # lock is what lets a thread pool overlap its miss stalls.
-        data = self._read_physical(region, block_in_region)
+        tracer = self._tracer
+        if tracer is not None and tracer.io_spans:
+            with tracer.span("pool.miss", region=int(region), block=block_in_region):
+                data = self._read_physical(region, block_in_region)
+        else:
+            data = self._read_physical(region, block_in_region)
         with self._lock:
             self._install(key, data)
         return data
@@ -226,6 +268,9 @@ class BufferPool:
         victim = self._frames[self._clock_hand]
         if victim.key is not None:
             del self._page_table[victim.key]
+            self.statistics.evictions += 1
+            if self._metric_evictions is not None:
+                self._metric_evictions.inc()
         victim.key = key
         victim.data = data
         victim.referenced = True

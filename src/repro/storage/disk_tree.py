@@ -222,6 +222,10 @@ class DiskSuffixTree(SuffixTreeCursor):
     def reset_statistics(self) -> None:
         self.pool.reset_statistics()
 
+    def instrument(self, tracer) -> None:
+        """Attach a tracer to the buffer pool (see :meth:`BufferPool.instrument`)."""
+        self.pool.instrument(tracer)
+
     def close(self) -> None:
         self._file.close()
 

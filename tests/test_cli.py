@@ -443,6 +443,147 @@ class TestIndexCommands:
             )
 
 
+class TestTelemetryFlags:
+    @pytest.fixture
+    def index_dir(self, tmp_path, generated_files):
+        fasta, _ = generated_files
+        directory = tmp_path / "trace-index"
+        code = main(
+            [
+                "index",
+                "build",
+                "--database",
+                str(fasta),
+                "--output",
+                str(directory),
+                "--shards",
+                "4",
+            ]
+        )
+        assert code == 0
+        return directory
+
+    def test_trace_writes_a_valid_jsonl_file(self, index_dir, generated_files, tmp_path, capsys):
+        from repro.obs import read_jsonl, validate_trace
+
+        _, queries = generated_files
+        trace = tmp_path / "trace.jsonl"
+        code = main(
+            [
+                "search",
+                "--index",
+                str(index_dir),
+                "--queries",
+                str(queries),
+                "--backend",
+                "processes:2",
+                "--min-score",
+                "15",
+                "--trace",
+                str(trace),
+            ]
+        )
+        assert code == 0
+        assert "spans to" in capsys.readouterr().err
+        records = read_jsonl(trace)
+        assert validate_trace(records) == []
+        assert {record.name for record in records} >= {"batch", "query", "shard", "merge"}
+
+    def test_trace_file_is_overwritten_not_appended(self, generated_files, tmp_path):
+        from repro.obs import read_jsonl, validate_trace
+
+        fasta, queries = generated_files
+        trace = tmp_path / "trace.jsonl"
+        args = [
+            "search",
+            "--database",
+            str(fasta),
+            "--queries",
+            str(queries),
+            "--min-score",
+            "15",
+            "--trace",
+            str(trace),
+        ]
+        assert main(args) == 0
+        first = read_jsonl(trace)
+        assert main(args) == 0
+        second = read_jsonl(trace)
+        # A rerun replaces the file: one run, one coherent trace.
+        assert len(second) == len(first)
+        assert validate_trace(second) == []
+
+    def test_metrics_flag_prints_registry(self, generated_files, capsys):
+        fasta, queries = generated_files
+        code = main(
+            [
+                "search",
+                "--database",
+                str(fasta),
+                "--queries",
+                str(queries),
+                "--min-score",
+                "15",
+                "--metrics",
+            ]
+        )
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "--- metrics ---" in err
+        assert "search.queries" in err
+        assert "search.nodes_expanded" in err
+
+    def test_verbose_flag_logs_to_stderr(self, generated_files, capsys):
+        fasta, queries = generated_files
+        code = main(
+            [
+                "-v",
+                "search",
+                "--database",
+                str(fasta),
+                "--queries",
+                str(queries),
+                "--shards",
+                "2",
+                "--min-score",
+                "15",
+            ]
+        )
+        assert code == 0
+        # restore the quiet default before asserting, so a failure here
+        # cannot leak INFO logging into other tests
+        from repro.obs import configure_logging
+
+        configure_logging(0)
+        err = capsys.readouterr().err
+        assert "repro." in err
+
+    def test_quiet_by_default(self, generated_files, capsys):
+        fasta, queries = generated_files
+        code = main(
+            [
+                "search",
+                "--database",
+                str(fasta),
+                "--queries",
+                str(queries),
+                "--shards",
+                "2",
+                "--min-score",
+                "15",
+            ]
+        )
+        assert code == 0
+        assert "repro." not in capsys.readouterr().err
+
+    def test_index_info_reports_image_sizes(self, index_dir, capsys):
+        code = main(["index", "info", str(index_dir)])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "bytes/residue" in output
+        assert "on disk:" in output
+
+
 class TestExperimentCommand:
     def test_runs_space_experiment(self, capsys):
         code = main(["experiment", "space", "--scale", "tiny"])

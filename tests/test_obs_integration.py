@@ -1,0 +1,170 @@
+"""Integration: one coherent span tree per traced search, on every backend.
+
+The acceptance scenario for the telemetry layer: a 4-shard search scattered
+over a ``processes:2`` backend, traced end to end, written to JSON lines and
+round-trip parsed -- one tree, query root, one shard child per shard
+(recorded inside the worker processes), one merge span.  The in-process
+backends must produce the same shape with local pids, and the batch
+executor must nest its per-query spans under the batch span.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+
+import pytest
+
+from repro.obs import (
+    JsonLinesExporter,
+    Tracer,
+    read_jsonl,
+    render_span_tree,
+    validate_trace,
+)
+from repro.scoring.data import pam30
+from repro.scoring.gaps import FixedGapModel
+from repro.sequences.alphabet import PROTEIN_ALPHABET
+from repro.sequences.database import SequenceDatabase
+from repro.sharding import ShardedEngine, ShardedIndexBuilder
+from repro.testing import AMINO_ACIDS, random_protein
+
+SHARDS = 4
+QUERY = "WKDDGNGYISAAE"
+SECOND_QUERY = "MKVLAADTGLAV"
+MIN_SCORE = 40
+
+
+def _database() -> SequenceDatabase:
+    """Planted-motif protein database, like the conftest one but reusable at
+    module scope (the persistent index below is built once per module)."""
+    rng = random.Random(42)
+    texts = []
+    for index in range(8):
+        prefix = random_protein(rng, rng.randint(10, 40))
+        suffix = random_protein(rng, rng.randint(10, 40))
+        mutated = list(QUERY)
+        if index % 2 == 1:
+            mutated[rng.randrange(len(mutated))] = rng.choice(AMINO_ACIDS)
+        texts.append(prefix + "".join(mutated) + suffix)
+    for _ in range(4):
+        texts.append(random_protein(rng, rng.randint(20, 80)))
+    return SequenceDatabase.from_texts(
+        texts, alphabet=PROTEIN_ALPHABET, name="obs-proteins"
+    )
+
+
+@pytest.fixture(scope="module")
+def index_dir(tmp_path_factory) -> str:
+    directory = tmp_path_factory.mktemp("obs") / "index"
+    ShardedIndexBuilder(pam30(), FixedGapModel(-8), shard_count=SHARDS).build(
+        _database(), directory
+    )
+    return str(directory)
+
+
+def _tree_parts(records):
+    """(root, shard spans, merge spans) of a single-query trace."""
+    roots = [record for record in records if record.parent_id is None]
+    assert len(roots) == 1, f"expected one root, got {[r.name for r in roots]}"
+    root = roots[0]
+    children = [record for record in records if record.parent_id == root.span_id]
+    shards = [record for record in children if record.name == "shard"]
+    merges = [record for record in children if record.name == "merge"]
+    return root, shards, merges
+
+
+def test_process_scatter_emits_one_coherent_tree(index_dir, tmp_path):
+    tracer = Tracer()
+    with ShardedEngine.open(index_dir, backend="processes:2") as engine:
+        engine.instrument(tracer)
+        result = engine.search(QUERY, min_score=MIN_SCORE, tracer=tracer)
+    assert len(result) >= 1
+
+    # Round trip through the JSON-lines file the CLI would write.
+    path = tmp_path / "trace.jsonl"
+    with JsonLinesExporter(path) as exporter:
+        tracer.export(exporter)
+    records = read_jsonl(path)
+    assert records == tracer.records()
+    assert validate_trace(records) == []
+
+    root, shards, merges = _tree_parts(records)
+    assert root.name == "query"
+    assert len(shards) == SHARDS
+    assert len(merges) == 1
+    assert sorted(span.attributes["shard"] for span in shards) == list(range(SHARDS))
+    # Shard spans were recorded inside worker processes and adopted back.
+    parent_pid = os.getpid()
+    assert all(span.pid != parent_pid for span in shards)
+    assert root.pid == parent_pid and merges[0].pid == parent_pid
+
+    # Worker metric snapshots merged into the parent registry.
+    metrics = tracer.metrics
+    assert metrics.counter("search.queries").value == SHARDS
+    assert (
+        metrics.counter("search.nodes_expanded").value
+        == result.statistics.nodes_expanded
+    )
+    assert metrics.counter("pool.misses").value > 0
+
+    rendered = render_span_tree(records)
+    assert rendered.splitlines()[0].startswith("query")
+    assert rendered.count("  shard") == SHARDS
+
+
+@pytest.mark.parametrize("backend", ["serial", "threads:2"])
+def test_in_process_scatter_same_tree_shape(index_dir, backend):
+    tracer = Tracer()
+    with ShardedEngine.open(index_dir, backend=backend) as engine:
+        engine.instrument(tracer)
+        result = engine.search(QUERY, min_score=MIN_SCORE, tracer=tracer)
+    records = tracer.records()
+    assert validate_trace(records) == []
+    root, shards, merges = _tree_parts(records)
+    assert root.name == "query"
+    assert len(shards) == SHARDS and len(merges) == 1
+    assert all(span.pid == os.getpid() for span in records)
+    assert merges[0].attributes["hits"] == len(result)
+
+
+def test_streaming_search_traces_under_one_query_span(index_dir):
+    tracer = Tracer()
+    with ShardedEngine.open(index_dir, backend="serial") as engine:
+        hits = list(
+            engine.search_online(QUERY, min_score=MIN_SCORE, tracer=tracer)
+        )
+    assert hits
+    records = tracer.records()
+    assert validate_trace(records) == []
+    root, shards, _merges = _tree_parts(records)
+    assert root.attributes.get("streaming") is True
+    assert len(shards) == SHARDS
+
+
+def test_batch_spans_nest_queries_under_batch(index_dir):
+    tracer = Tracer()
+    with ShardedEngine.open(index_dir, backend="serial") as engine:
+        engine.instrument(tracer)
+        report = engine.search_many(
+            [QUERY, SECOND_QUERY], workers=2, min_score=MIN_SCORE, tracer=tracer
+        )
+    assert not report.statistics.failed
+    records = tracer.records()
+    assert validate_trace(records) == []
+
+    roots = [record for record in records if record.parent_id is None]
+    assert [root.name for root in roots] == ["batch"]
+    batch = roots[0]
+    queries = [record for record in records if record.name == "query"]
+    assert len(queries) == 2
+    assert all(query.parent_id == batch.span_id for query in queries)
+    shards = [record for record in records if record.name == "shard"]
+    assert len(shards) == 2 * SHARDS
+    assert {shard.parent_id for shard in shards} == {
+        query.span_id for query in queries
+    }
+
+    # The fan-out backend's parent-side instrumentation saw both tasks.
+    latency = tracer.metrics.get("exec.task_seconds[threads:2]")
+    assert latency is not None and latency.count == 2

@@ -1,0 +1,207 @@
+"""Statistics/metrics consistency across scatter backends, timeouts, aborts.
+
+The invariant under test: however a query's work is distributed (serial,
+thread or process scatter), every shard-level execution that actually ran
+is counted exactly once -- the merged ``SearchResult.statistics``, the
+tracer's metric counters, and the recorded shard spans must all agree, with
+no double counting when worker snapshots merge back and no phantom counts
+from queries an abort skipped.  Timed-out and aborted shards must be
+flagged in the per-shard rows on every backend.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.engine import OasisEngine
+from repro.obs import Tracer, validate_trace
+from repro.parallel import BatchSearchExecutor
+from repro.scoring.data import pam30
+from repro.scoring.gaps import FixedGapModel
+from repro.sequences.alphabet import PROTEIN_ALPHABET
+from repro.sequences.database import SequenceDatabase
+from repro.sharding import ShardedEngine, ShardedIndexBuilder
+from repro.testing import random_protein
+
+SHARDS = 4
+BACKENDS = ("serial", "threads:2", "processes:2")
+QUERY = "WKDDGNGYISAAE"
+MIN_SCORE = 40
+
+
+def _database() -> SequenceDatabase:
+    rng = random.Random(99)
+    texts = []
+    for _ in range(8):
+        prefix = random_protein(rng, rng.randint(10, 40))
+        suffix = random_protein(rng, rng.randint(10, 40))
+        texts.append(prefix + QUERY + suffix)
+    for _ in range(4):
+        texts.append(random_protein(rng, rng.randint(20, 80)))
+    return SequenceDatabase.from_texts(
+        texts, alphabet=PROTEIN_ALPHABET, name="consistency-proteins"
+    )
+
+
+@pytest.fixture(scope="module")
+def index_dir(tmp_path_factory) -> str:
+    directory = tmp_path_factory.mktemp("consistency") / "index"
+    ShardedIndexBuilder(pam30(), FixedGapModel(-8), shard_count=SHARDS).build(
+        _database(), directory
+    )
+    return str(directory)
+
+
+def _traced_search(index_dir, backend, **execute_kwargs):
+    tracer = Tracer()
+    with ShardedEngine.open(index_dir, backend=backend) as engine:
+        engine.instrument(tracer)
+        result = engine.execute(QUERY, tracer=tracer, **execute_kwargs).result()
+    return result, tracer
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_metrics_agree_with_statistics(index_dir, backend):
+    result, tracer = _traced_search(index_dir, backend, min_score=MIN_SCORE)
+    statistics = result.statistics
+    metrics = tracer.metrics
+
+    # One count per shard execution, regardless of where it ran.
+    assert metrics.counter("search.queries").value == SHARDS
+    assert metrics.counter("search.nodes_expanded").value == statistics.nodes_expanded
+    assert (
+        metrics.counter("search.columns_expanded").value
+        == statistics.columns_expanded
+    )
+    # Without max_results every emitted hit survives the merge.
+    assert metrics.counter("search.hits").value == len(result)
+    assert metrics.counter("search.timeouts").value == 0
+    assert metrics.counter("search.aborts").value == 0
+
+    # Exactly one span per shard execution, and the trace is coherent.
+    records = tracer.records()
+    assert validate_trace(records) == []
+    shard_spans = [record for record in records if record.name == "shard"]
+    assert len(shard_spans) == SHARDS
+    assert sum(span.attributes["nodes_expanded"] for span in shard_spans) == (
+        statistics.nodes_expanded
+    )
+
+    # The per-shard rows sum to the merged statistics (and none is flagged).
+    rows = result.parameters["shard_stats"]
+    assert len(rows) == SHARDS
+    assert sum(row["nodes_expanded"] for row in rows) == statistics.nodes_expanded
+    assert sum(row["hits"] for row in rows) == len(result)
+    assert not any(row["timed_out"] or row["aborted"] for row in rows)
+
+
+def test_work_counters_identical_across_backends(index_dir):
+    """The search is deterministic, so the totals must match bit for bit."""
+    totals = {}
+    for backend in BACKENDS:
+        result, tracer = _traced_search(index_dir, backend, min_score=MIN_SCORE)
+        statistics = result.statistics
+        totals[backend] = {
+            "hits": len(result),
+            "nodes_expanded": statistics.nodes_expanded,
+            "columns_expanded": statistics.columns_expanded,
+            "buffer_misses": statistics.buffer_misses,
+            "metric_queries": tracer.metrics.counter("search.queries").value,
+            "metric_nodes": tracer.metrics.counter("search.nodes_expanded").value,
+        }
+    reference = totals[BACKENDS[0]]
+    for backend in BACKENDS[1:]:
+        assert totals[backend] == reference, (
+            f"{backend} disagrees with {BACKENDS[0]}: "
+            f"{totals[backend]} != {reference}"
+        )
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_timeout_flags_shards_without_double_counts(index_dir, backend):
+    result, tracer = _traced_search(
+        index_dir, backend, min_score=MIN_SCORE, time_budget=1e-6
+    )
+    assert result.parameters.get("timed_out") is True
+    rows = result.parameters["shard_stats"]
+    assert all(row["timed_out"] for row in rows)
+
+    # Every execution that ran was timed out, and each was counted once.
+    # (A process worker whose task expired in the queue never starts the
+    # execution; it then contributes neither a query count nor a timeout,
+    # keeping the two counters equal on every backend.)
+    metrics = tracer.metrics
+    ran = metrics.counter("search.queries").value
+    assert metrics.counter("search.timeouts").value == ran
+    shard_spans = [r for r in tracer.records() if r.name == "shard"]
+    assert len(shard_spans) == ran
+    assert all(span.attributes.get("timed_out") for span in shard_spans)
+    assert validate_trace(tracer.records()) == []
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_batch_abort_skips_cleanly(index_dir, backend):
+    """Aborting after the first query: the rest are skipped, never counted."""
+    tracer = Tracer()
+    with ShardedEngine.open(index_dir, backend=backend) as engine:
+        engine.instrument(tracer)
+        executor = BatchSearchExecutor.for_engine(
+            engine, backend="serial", min_score=MIN_SCORE, tracer=tracer
+        )
+
+        original = executor._run_query
+
+        def abort_after_first(query, budget, cancel, trace_parent=None):
+            result = original(query, budget, cancel, trace_parent=trace_parent)
+            executor.abort()
+            return result
+
+        abort_after_first.accepts_trace_parent = True
+        executor._run_query = abort_after_first
+        report = executor.run([QUERY, QUERY, QUERY])
+
+    assert report.statistics.succeeded == 1
+    assert report.statistics.aborted == 2
+    assert report.outcomes[0].ok
+    assert all(
+        outcome.aborted and outcome.result is None
+        for outcome in report.outcomes[1:]
+    )
+
+    # Only the query that ran left any trace: one query span, one span and
+    # one count per shard, nothing from the two skipped queries.
+    metrics = tracer.metrics
+    assert metrics.counter("search.queries").value == SHARDS
+    assert metrics.counter("search.aborts").value == 0
+    records = tracer.records()
+    assert validate_trace(records) == []
+    assert len([r for r in records if r.name == "query"]) == 1
+    assert len([r for r in records if r.name == "shard"]) == SHARDS
+    assert len([r for r in records if r.name == "batch"]) == 1
+
+
+def test_cooperative_abort_counts_the_interrupted_query_once(
+    small_protein_database, pam30_matrix, gap8
+):
+    """A started-then-aborted execution is one query, one abort, one span."""
+    engine = OasisEngine.build(
+        small_protein_database, matrix=pam30_matrix, gap_model=gap8
+    )
+    tracer = Tracer()
+    execution = engine.execute(QUERY, min_score=MIN_SCORE, tracer=tracer)
+    stream = iter(execution)
+    next(stream)  # the planted motif guarantees at least one hit
+    execution.abort()
+    remaining = list(stream)
+    result = execution.result()
+
+    assert result.parameters.get("aborted") is True
+    assert len(result) == 1 + len(remaining)
+    metrics = tracer.metrics
+    assert metrics.counter("search.queries").value == 1
+    assert metrics.counter("search.aborts").value == 1
+    (record,) = tracer.records()
+    assert record.name == "query"
+    assert record.attributes.get("aborted") is True
