@@ -1,0 +1,255 @@
+"""The static-analysis framework: modules in, violations out.
+
+The engine's correctness rests on invariants that ordinary tests cannot
+see -- import layering, spawn-safe task classes, ``with``-scoped locks,
+deterministic iteration feeding the merge order.  This package checks them
+the way EMBANKS-style storage engines check their page invariants: a
+repo-native analyzer that parses every source file once and runs a set of
+small, repo-specific AST rules over it.
+
+Zero dependencies by design (:mod:`ast` + :mod:`tokenize` only): the
+analyzer must run in CI before anything is installed, and must never grow
+an import of the code it polices (``repro.analysis`` sits at the top of
+the layering DAG it enforces).
+
+Vocabulary
+----------
+:class:`ModuleInfo`
+    One parsed source file: path, dotted module name, AST, raw lines and
+    the suppression table parsed from ``# repro: allow[rule-id]`` comments.
+:class:`Rule`
+    A named check: ``check(module)`` yields :class:`Violation`\\ s.  Rules
+    never filter suppressions themselves; the driver matches each
+    violation against the module's suppression table so every opt-out is
+    *counted and reported*, never silently swallowed.
+:class:`AnalysisReport`
+    The outcome over a file set: surviving violations, suppressed
+    violations (still visible), and per-rule statistics.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+import re
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+#: Suppression comments: ``# repro: allow[rule-id]`` on the offending line
+#: (or on the line a multi-line statement starts on).  The rule id must be
+#: spelled out -- there is deliberately no ``allow[*]``.
+_SUPPRESSION = re.compile(r"#\s*repro:\s*allow\[([a-z0-9-]+)\]")
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One rule breach at one source location."""
+
+    rule_id: str
+    path: str
+    line: int
+    message: str
+    #: Set by the driver when a suppression comment matched this violation.
+    suppressed: bool = False
+
+    def format(self) -> str:
+        mark = " (suppressed)" if self.suppressed else ""
+        return f"{self.path}:{self.line}: [{self.rule_id}] {self.message}{mark}"
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed source file plus everything rules need to know about it."""
+
+    path: str
+    #: Dotted module name, e.g. ``repro.storage.buffer_pool`` -- empty when
+    #: the file does not live under a recognisable package root.
+    name: str
+    tree: ast.Module
+    lines: List[str]
+    #: line number -> set of rule ids allowed on that line.
+    suppressions: Dict[int, List[str]] = field(default_factory=dict)
+
+    @property
+    def package(self) -> str:
+        """First package component under ``repro`` (``storage``, ``core``...).
+
+        For ``repro.cli`` / ``repro.testing`` (plain modules) this is the
+        module's own name; for the package root ``repro`` itself, ``""``.
+        """
+        parts = self.name.split(".")
+        if len(parts) < 2 or parts[0] != "repro":
+            return ""
+        return parts[1]
+
+    def allowed(self, rule_id: str, line: int) -> bool:
+        return rule_id in self.suppressions.get(line, ())
+
+
+class Rule:
+    """Base class for one named, documented check.
+
+    Subclasses set :attr:`rule_id` (the id suppression comments and reports
+    use) and :attr:`description` (one line, shown in the rule catalog), and
+    implement :meth:`check`.
+    """
+
+    rule_id: str = ""
+    description: str = ""
+
+    def check(self, module: ModuleInfo) -> Iterator[Violation]:
+        raise NotImplementedError
+
+    def violation(self, module: ModuleInfo, node: ast.AST, message: str) -> Violation:
+        return Violation(
+            rule_id=self.rule_id,
+            path=module.path,
+            line=getattr(node, "lineno", 1),
+            message=message,
+        )
+
+
+@dataclass
+class AnalysisReport:
+    """Everything one analysis run produced."""
+
+    violations: List[Violation] = field(default_factory=list)
+    suppressed: List[Violation] = field(default_factory=list)
+    files_checked: int = 0
+    parse_errors: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations and not self.parse_errors
+
+    def counts_by_rule(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for violation in self.violations:
+            counts[violation.rule_id] = counts.get(violation.rule_id, 0) + 1
+        return counts
+
+    def format(self, verbose: bool = False) -> str:
+        """Human-readable report: violations, suppressions, summary line."""
+        out: List[str] = []
+        for error in self.parse_errors:
+            out.append(f"parse error: {error}")
+        for violation in self.violations:
+            out.append(violation.format())
+        # Suppressions are never silent: every allow[] that fired is listed,
+        # so a review sees exactly which invariants were waived and where.
+        for violation in self.suppressed:
+            out.append(violation.format())
+        summary = (
+            f"{self.files_checked} files checked: "
+            f"{len(self.violations)} violations, "
+            f"{len(self.suppressed)} suppressed"
+        )
+        if self.violations:
+            per_rule = ", ".join(
+                f"{rule}={count}" for rule, count in sorted(self.counts_by_rule().items())
+            )
+            summary += f" ({per_rule})"
+        out.append(summary)
+        return "\n".join(out)
+
+
+def parse_suppressions(lines: Sequence[str]) -> Dict[int, List[str]]:
+    """The ``# repro: allow[rule-id]`` table of one file, by line number."""
+    table: Dict[int, List[str]] = {}
+    for number, line in enumerate(lines, start=1):
+        for match in _SUPPRESSION.finditer(line):
+            table.setdefault(number, []).append(match.group(1))
+    return table
+
+
+def module_name_for(path: str) -> str:
+    """Dotted module name of a source file, anchored at the ``repro`` root.
+
+    ``.../src/repro/storage/buffer_pool.py`` -> ``repro.storage.buffer_pool``.
+    Files outside a ``repro`` package directory get an empty name; rules
+    that depend on the package layout skip them, the package-agnostic rules
+    (locks, excepts, defaults) still apply.
+    """
+    parts = os.path.normpath(os.path.abspath(path)).split(os.sep)
+    if "repro" not in parts:
+        return ""
+    root = len(parts) - 1 - parts[::-1].index("repro")
+    module_parts = parts[root:]
+    module_parts[-1] = module_parts[-1][: -len(".py")] if module_parts[-1].endswith(".py") else module_parts[-1]
+    if module_parts[-1] == "__init__":
+        module_parts.pop()
+    return ".".join(module_parts)
+
+
+def load_module(path: str) -> ModuleInfo:
+    """Parse one file into a :class:`ModuleInfo` (raises ``SyntaxError``)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        source = handle.read()
+    lines = source.splitlines()
+    tree = ast.parse(source, filename=path)
+    return ModuleInfo(
+        path=path,
+        name=module_name_for(path),
+        tree=tree,
+        lines=lines,
+        suppressions=parse_suppressions(lines),
+    )
+
+
+def iter_python_files(paths: Iterable[str]) -> Iterator[str]:
+    """Every ``.py`` file under the given files/directories, sorted."""
+    for path in paths:
+        if os.path.isfile(path):
+            if path.endswith(".py"):
+                yield path
+        else:
+            for directory, subdirs, files in os.walk(path):
+                subdirs[:] = sorted(d for d in subdirs if d != "__pycache__")
+                for name in sorted(files):
+                    if name.endswith(".py"):
+                        yield os.path.join(directory, name)
+
+
+def run_rules(
+    modules: Iterable[ModuleInfo], rules: Sequence[Rule]
+) -> Tuple[List[Violation], List[Violation]]:
+    """Apply every rule to every module; split by suppression state."""
+    surviving: List[Violation] = []
+    suppressed: List[Violation] = []
+    for module in modules:
+        for rule in rules:
+            for violation in rule.check(module):
+                if module.allowed(violation.rule_id, violation.line):
+                    suppressed.append(
+                        Violation(
+                            rule_id=violation.rule_id,
+                            path=violation.path,
+                            line=violation.line,
+                            message=violation.message,
+                            suppressed=True,
+                        )
+                    )
+                else:
+                    surviving.append(violation)
+    return surviving, suppressed
+
+
+def analyze_paths(paths: Iterable[str], rules: Optional[Sequence[Rule]] = None) -> AnalysisReport:
+    """Run the (given or registered) rules over every ``.py`` file in ``paths``."""
+    if rules is None:
+        from repro.analysis.registry import all_rules
+
+        rules = all_rules()
+    report = AnalysisReport()
+    modules: List[ModuleInfo] = []
+    for path in iter_python_files(paths):
+        try:
+            modules.append(load_module(path))
+        except (SyntaxError, UnicodeDecodeError, OSError) as error:
+            report.parse_errors.append(f"{path}: {error}")
+            continue
+    report.files_checked = len(modules)
+    report.violations, report.suppressed = run_rules(modules, rules)
+    report.violations.sort(key=lambda v: (v.path, v.line, v.rule_id))
+    report.suppressed.sort(key=lambda v: (v.path, v.line, v.rule_id))
+    return report

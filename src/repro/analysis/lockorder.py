@@ -1,0 +1,254 @@
+"""Runtime lock-order detector: instrumented locks, acquisition-order graph.
+
+Static rules can prove a lock is ``with``-scoped; they cannot prove two
+locks are always taken in the same order.  This module does it at runtime:
+
+* :class:`OrderedLock` wraps a real ``threading.Lock``/``RLock`` and
+  reports every acquisition/release to a :class:`LockOrderMonitor`;
+* the monitor keeps a **thread-local stack of held locks** and a global
+  **acquisition-order digraph**: acquiring ``B`` while holding ``A`` adds
+  the edge ``A -> B``;
+* a cycle in that graph is a potential deadlock -- thread 1 took
+  ``A`` then ``B``, thread 2 took ``B`` then ``A`` -- and raises
+  :class:`LockOrderError` naming the cycle, *even if the interleaving
+  never actually deadlocked during the run*.  That is the point: the
+  graph accumulates edges across the whole test, so a latent ABBA shows
+  up deterministically, single-threaded included.
+
+The wrapper is a drop-in: ``with``, ``acquire(blocking=..., timeout=...)``,
+``release`` and RLock reentrancy all behave as the wrapped primitive does
+(a reentrant re-acquire adds no edge -- the lock is already on the stack).
+
+Test wiring lives in :func:`repro.testing.instrument_lock_order`, which
+swaps a ``BufferPool``'s or backend's private locks for instrumented ones.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+
+
+class LockOrderError(AssertionError):
+    """A lock-acquisition-order cycle was observed.
+
+    Subclasses ``AssertionError`` so a pytest run reports it as a plain
+    test failure, not an infrastructure error.
+    """
+
+    def __init__(self, cycle: Sequence[str], edges: Dict[Tuple[str, str], str]):
+        self.cycle = list(cycle)
+        self.edges = dict(edges)
+        path = " -> ".join(self.cycle + [self.cycle[0]])
+        witnesses = "; ".join(
+            f"{a}->{b} first seen at {site}" for (a, b), site in sorted(edges.items())
+        )
+        super().__init__(
+            f"lock acquisition order cycle: {path} ({witnesses})"
+        )
+
+
+class LockOrderMonitor:
+    """Accumulates the acquisition-order graph and checks it for cycles."""
+
+    def __init__(self) -> None:
+        self._graph_lock = threading.Lock()
+        #: directed edges: held-lock name -> then-acquired-lock name.
+        self._edges: Dict[str, Set[str]] = {}
+        #: first witness of each edge, for the error message.
+        self._witness: Dict[Tuple[str, str], str] = {}
+        #: total successful acquisitions seen -- lets a test assert the
+        #: instrumented locks were actually exercised, not silently bypassed.
+        self.acquisition_count = 0
+        self._local = threading.local()
+
+    # ------------------------------------------------------------------ #
+    # Recording
+    # ------------------------------------------------------------------ #
+    def _stack(self) -> List[str]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def notify_acquired(self, name: str, site: str = "") -> None:
+        """Record that the current thread now holds ``name``.
+
+        Called *after* the real acquire succeeded, so the monitor never
+        blocks an acquisition; a reentrant re-acquire (name already on this
+        thread's stack) adds no edge.
+        """
+        stack = self._stack()
+        if name in stack:
+            stack.append(name)
+            with self._graph_lock:
+                self.acquisition_count += 1
+            return
+        new_edges: List[Tuple[str, str]] = []
+        with self._graph_lock:
+            self.acquisition_count += 1
+            for held in stack:
+                if held == name:
+                    continue
+                successors = self._edges.setdefault(held, set())
+                if name not in successors:
+                    successors.add(name)
+                    self._witness[(held, name)] = site or "<unknown>"
+                    new_edges.append((held, name))
+        stack.append(name)
+        if new_edges:
+            cycle = self._find_cycle()
+            if cycle is not None:
+                raise LockOrderError(cycle, self._cycle_witnesses(cycle))
+
+    def notify_released(self, name: str) -> None:
+        stack = self._stack()
+        # Release the innermost occurrence: matches RLock semantics and
+        # tolerates out-of-order releases without corrupting the stack.
+        for index in range(len(stack) - 1, -1, -1):
+            if stack[index] == name:
+                del stack[index]
+                return
+
+    # ------------------------------------------------------------------ #
+    # Cycle detection
+    # ------------------------------------------------------------------ #
+    def _find_cycle(self) -> Optional[List[str]]:
+        """First cycle in the edge graph, as a node list, else ``None``."""
+        with self._graph_lock:
+            graph = {node: sorted(successors) for node, successors in self._edges.items()}
+        WHITE, GRAY, BLACK = 0, 1, 2
+        color: Dict[str, int] = {}
+        parent: Dict[str, str] = {}
+
+        def visit(node: str) -> Optional[List[str]]:
+            color[node] = GRAY
+            for successor in graph.get(node, ()):
+                state = color.get(successor, WHITE)
+                if state == GRAY:
+                    # Walk parents back from node to successor.
+                    cycle = [successor]
+                    cursor = node
+                    while cursor != successor:
+                        cycle.append(cursor)
+                        cursor = parent[cursor]
+                    cycle.reverse()
+                    # Rotate so the cycle starts at its smallest name --
+                    # deterministic output regardless of traversal order.
+                    pivot = cycle.index(min(cycle))
+                    return cycle[pivot:] + cycle[:pivot]
+                if state == WHITE:
+                    parent[successor] = node
+                    found = visit(successor)
+                    if found is not None:
+                        return found
+            color[node] = BLACK
+            return None
+
+        for node in sorted(graph):
+            if color.get(node, WHITE) == WHITE:
+                found = visit(node)
+                if found is not None:
+                    return found
+        return None
+
+    def _cycle_witnesses(self, cycle: Sequence[str]) -> Dict[Tuple[str, str], str]:
+        pairs = [
+            (cycle[index], cycle[(index + 1) % len(cycle)])
+            for index in range(len(cycle))
+        ]
+        with self._graph_lock:
+            return {pair: self._witness.get(pair, "<unknown>") for pair in pairs}
+
+    # ------------------------------------------------------------------ #
+    # Inspection / assertions
+    # ------------------------------------------------------------------ #
+    def edges(self) -> List[Tuple[str, str]]:
+        """Every observed held->acquired edge, sorted."""
+        with self._graph_lock:
+            return sorted(
+                (node, successor)
+                for node, successors in self._edges.items()
+                for successor in successors
+            )
+
+    def assert_acyclic(self) -> None:
+        """Raise :class:`LockOrderError` if the accumulated graph has a cycle.
+
+        The ``with``-exit check for tests: acquisition-time detection fires
+        at the moment the closing edge appears, but a test that swallowed
+        that exception (or code that catches broad exceptions) still fails
+        here.
+        """
+        cycle = self._find_cycle()
+        if cycle is not None:
+            raise LockOrderError(cycle, self._cycle_witnesses(cycle))
+
+    def reset(self) -> None:
+        with self._graph_lock:
+            self._edges.clear()
+            self._witness.clear()
+            self.acquisition_count = 0
+        self._local = threading.local()
+
+
+class OrderedLock:
+    """Drop-in lock wrapper that reports acquisitions to a monitor.
+
+    Wraps any object with ``acquire``/``release`` (``Lock``, ``RLock``,
+    ``Semaphore``); context-manager use, ``acquire`` keyword arguments and
+    reentrancy are delegated to the wrapped primitive.
+    """
+
+    def __init__(self, lock: Any, name: str, monitor: LockOrderMonitor) -> None:
+        self._lock = lock
+        self.name = name
+        self._monitor = monitor
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        # The wrapper *is* a lock: it forwards the primitive's own
+        # acquire/release surface, so with-scoping happens in its callers.
+        acquired = self._lock.acquire(blocking, timeout)  # repro: allow[lock-scope]
+        if acquired:
+            try:
+                self._monitor.notify_acquired(self.name, site=_caller_site())
+            except LockOrderError:
+                # Propagating from inside acquire() means the caller's `with`
+                # body never runs and __exit__ never fires -- drop the real
+                # lock so the failing test does not wedge other threads.
+                self._monitor.notify_released(self.name)
+                self._lock.release()  # repro: allow[lock-scope]
+                raise
+        return acquired
+
+    def release(self) -> None:
+        self._lock.release()  # repro: allow[lock-scope]
+        self._monitor.notify_released(self.name)
+
+    def __enter__(self) -> "OrderedLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.release()
+
+    def locked(self) -> bool:
+        locked = getattr(self._lock, "locked", None)
+        return bool(locked()) if callable(locked) else False
+
+    def __repr__(self) -> str:
+        return f"OrderedLock({self.name!r}, {self._lock!r})"
+
+
+def _caller_site(depth: int = 2) -> str:
+    """``file.py:lineno`` of the frame that called acquire, best effort."""
+    import sys
+
+    frame = sys._getframe(depth) if hasattr(sys, "_getframe") else None
+    # Walk out of this module (acquire/__enter__ indirection varies).
+    while frame is not None and frame.f_globals.get("__name__") == __name__:
+        frame = frame.f_back
+    if frame is None:
+        return "<unknown>"
+    return f"{frame.f_code.co_filename.rsplit('/', 1)[-1]}:{frame.f_lineno}"

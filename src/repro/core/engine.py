@@ -18,6 +18,7 @@ configuration and the E-value conversion, and exposes both the batch
 
 from __future__ import annotations
 
+import logging
 import os
 import threading
 from typing import TYPE_CHECKING, Iterable, Iterator, Optional, Union
@@ -25,7 +26,6 @@ from typing import TYPE_CHECKING, Iterable, Iterator, Optional, Union
 from repro.core.evalue import SelectivityConverter
 from repro.core.oasis import OasisSearch, OasisSearchStatistics, QueryExecution
 from repro.core.results import SearchHit, SearchResult
-from repro.obs.logsetup import get_logger
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for annotations only
     from repro.parallel.executor import BatchSearchReport
@@ -40,7 +40,10 @@ from repro.suffixtree.partitioned import PartitionedTreeBuilder
 
 PathLike = Union[str, os.PathLike]
 
-logger = get_logger(__name__)
+# Plain stdlib logging, not repro.obs.logsetup: core sits *below* obs in the
+# layering DAG, and __name__ already lives in the "repro." hierarchy that
+# obs.logsetup.configure_logging manages -- the handler wiring still applies.
+logger = logging.getLogger(__name__)
 
 
 class OasisEngine:

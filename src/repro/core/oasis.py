@@ -429,6 +429,12 @@ class QueryExecution:
 
     def _close_span(self, span) -> None:
         """Stamp final counters on the query span and record the metrics."""
+        tracer = self.tracer
+        if tracer is None:
+            # A live span implies a tracer (only _generate opens spans), but
+            # the hot-path telemetry contract is lexical: every tracer/metrics
+            # call sits behind an explicit None check.
+            return
         statistics = self.statistics
         span.set_attribute("hits", len(self._hits))
         span.set_attribute("nodes_expanded", statistics.nodes_expanded)
@@ -440,7 +446,6 @@ class QueryExecution:
             span.set_attribute("timed_out", True)
         if self.aborted:
             span.set_attribute("aborted", True)
-        tracer = self.tracer
         tracer._pop(span)
         span.finish()
         metrics = tracer.metrics

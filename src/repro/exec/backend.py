@@ -29,13 +29,27 @@ import threading
 import time
 from abc import ABC, abstractmethod
 from concurrent.futures import (
+    Executor,
     Future,
     ProcessPoolExecutor,
     ThreadPoolExecutor,
     as_completed,
 )
 from dataclasses import dataclass
-from typing import Callable, Iterable, Iterator, Optional, Tuple, Union
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Iterable,
+    Iterator,
+    Optional,
+    Tuple,
+    Union,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only (same layer as obs)
+    from repro.obs.metrics import Gauge, Histogram
+    from repro.obs.trace import Tracer
 
 #: The three execution strategies, in increasing isolation order.
 BACKEND_KINDS = ("serial", "threads", "processes")
@@ -71,13 +85,13 @@ class ExecutionBackend(ABC):
         self._closed = False
         # Telemetry (attached via instrument()): resolved instruments, so the
         # submit path pays one None check when telemetry is off.
-        self._metric_latency = None
-        self._metric_queue = None
+        self._metric_latency: Optional["Histogram"] = None
+        self._metric_queue: Optional["Gauge"] = None
 
     # ------------------------------------------------------------------ #
     # Telemetry
     # ------------------------------------------------------------------ #
-    def instrument(self, tracer) -> None:
+    def instrument(self, tracer: Optional["Tracer"]) -> None:
         """Record per-task latency and queue depth into ``tracer.metrics``.
 
         Instrumentation is entirely parent-side (submit times plus future
@@ -104,10 +118,10 @@ class ExecutionBackend(ABC):
 
     def _watch(self, future: "Future", submitted: Optional[float]) -> "Future":
         """Hook one submitted future into the latency/queue instruments."""
-        if submitted is None:
-            return future
         latency = self._metric_latency
         queue = self._metric_queue
+        if submitted is None or latency is None or queue is None:
+            return future
         queue.inc()
 
         def _finished(done_future: "Future") -> None:
@@ -122,10 +136,10 @@ class ExecutionBackend(ABC):
     # Core interface
     # ------------------------------------------------------------------ #
     @abstractmethod
-    def submit(self, fn: Callable, *args) -> "Future":
+    def submit(self, fn: Callable[..., Any], *args: Any) -> "Future[Any]":
         """Schedule ``fn(*args)``; returns a Future resolving to its result."""
 
-    def map_unordered(self, fn: Callable, items: Iterable) -> Iterator:
+    def map_unordered(self, fn: Callable[..., Any], items: Iterable[Any]) -> Iterator[Any]:
         """Yield ``fn(item)`` results in *completion* order.
 
         Abandoning the iterator cancels tasks that have not started;
@@ -166,7 +180,7 @@ class ExecutionBackend(ABC):
     def __enter__(self) -> "ExecutionBackend":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
     def __repr__(self) -> str:
@@ -185,7 +199,7 @@ class SerialBackend(ExecutionBackend):
 
     kind = "serial"
 
-    def submit(self, fn: Callable, *args) -> "Future":
+    def submit(self, fn: Callable[..., Any], *args: Any) -> "Future[Any]":
         self._check_open()
         submitted = time.perf_counter() if self._metric_latency is not None else None
         future: Future = Future()
@@ -198,7 +212,7 @@ class SerialBackend(ExecutionBackend):
         # observes the true inline-execution latency from the submit time.
         return self._watch(future, submitted)
 
-    def map_unordered(self, fn: Callable, items: Iterable) -> Iterator:
+    def map_unordered(self, fn: Callable[..., Any], items: Iterable[Any]) -> Iterator[Any]:
         self._check_open()
         for item in items:
             yield fn(item)
@@ -212,26 +226,26 @@ class _PooledBackend(ExecutionBackend):
     refuses to resurrect its pool.
     """
 
-    def __init__(self, workers: Optional[int] = None):
+    def __init__(self, workers: Optional[int] = None) -> None:
         super().__init__()
         self.workers = int(workers) if workers is not None else default_worker_count()
         if self.workers < 1:
             raise ValueError("workers must be at least 1")
-        self._pool: Optional[object] = None
+        self._pool: Optional[Executor] = None
         self._pool_lock = threading.Lock()
 
     @abstractmethod
-    def _create_pool(self):
+    def _create_pool(self) -> Executor:
         """Build the underlying concurrent.futures executor."""
 
-    def _ensure_pool(self):
+    def _ensure_pool(self) -> Executor:
         with self._pool_lock:
             self._check_open()
             if self._pool is None:
                 self._pool = self._create_pool()
             return self._pool
 
-    def submit(self, fn: Callable, *args) -> "Future":
+    def submit(self, fn: Callable[..., Any], *args: Any) -> "Future[Any]":
         submitted = time.perf_counter() if self._metric_latency is not None else None
         future = self._ensure_pool().submit(fn, *args)
         return self._watch(future, submitted)
@@ -246,19 +260,23 @@ class _PooledBackend(ExecutionBackend):
         backend stays closed.
         """
         with self._pool_lock:
-            if self._pool is not None:
-                # wait=False: a broken pool cannot make progress anyway.
-                self._pool.shutdown(wait=False)
-                self._pool = None
+            doomed, self._pool = self._pool, None
+        if doomed is not None:
+            # Outside the lock: shutdown joins worker machinery, and a stall
+            # there must not serialise concurrent submitters behind it.
+            # wait=False: a broken pool cannot make progress anyway.
+            doomed.shutdown(wait=False)
 
     def close(self) -> None:
         with self._pool_lock:
             if self._closed:
                 return
             self._closed = True
-            if self._pool is not None:
-                self._pool.shutdown(wait=True)
-                self._pool = None
+            doomed, self._pool = self._pool, None
+        if doomed is not None:
+            # wait=True joins every worker -- far too slow to hold the pool
+            # lock across; swap the reference out under the lock, join outside.
+            doomed.shutdown(wait=True)
 
 
 class ThreadBackend(_PooledBackend):

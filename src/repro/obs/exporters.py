@@ -57,7 +57,7 @@ class JsonLinesExporter:
     manager or call :meth:`close`.
     """
 
-    def __init__(self, target: Union[PathLike, io.TextIOBase]):
+    def __init__(self, target: Union[PathLike, io.TextIOBase]) -> None:
         self._handle: Optional[io.TextIOBase]
         if hasattr(target, "write"):
             self._handle = target  # type: ignore[assignment]
@@ -88,7 +88,7 @@ class JsonLinesExporter:
     def __enter__(self) -> "JsonLinesExporter":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
 

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import logging
 import sys
-from typing import Optional
+from typing import Optional, TextIO
 
 #: Root of the package's logger hierarchy.
 ROOT_LOGGER_NAME = "repro"
@@ -46,7 +46,7 @@ def verbosity_level(verbosity: int) -> int:
     return _LEVELS.get(max(0, int(verbosity)), logging.DEBUG)
 
 
-def configure_logging(verbosity: int = 0, stream=None) -> logging.Logger:
+def configure_logging(verbosity: int = 0, stream: Optional[TextIO] = None) -> logging.Logger:
     """Attach a stream handler to the ``repro`` root at the given verbosity.
 
     Returns the configured root logger.  Safe to call repeatedly (the

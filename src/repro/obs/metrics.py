@@ -22,7 +22,7 @@ from __future__ import annotations
 
 import bisect
 import threading
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 #: Default latency buckets in seconds: ~exponential from 1 ms to ~16 s.
 DEFAULT_LATENCY_BUCKETS = (
@@ -48,7 +48,7 @@ class Counter:
 
     __slots__ = ("name", "description", "_value", "_lock")
 
-    def __init__(self, name: str, description: str = ""):
+    def __init__(self, name: str, description: str = "") -> None:
         self.name = name
         self.description = description
         self._value = 0
@@ -80,7 +80,7 @@ class Gauge:
 
     __slots__ = ("name", "description", "_value", "_max", "_lock")
 
-    def __init__(self, name: str, description: str = ""):
+    def __init__(self, name: str, description: str = "") -> None:
         self.name = name
         self.description = description
         self._value = 0.0
@@ -142,7 +142,7 @@ class Histogram:
         name: str,
         boundaries: Sequence[float] = DEFAULT_LATENCY_BUCKETS,
         description: str = "",
-    ):
+    ) -> None:
         if not boundaries:
             raise ValueError("a histogram needs at least one bucket boundary")
         ordered = tuple(float(edge) for edge in boundaries)
@@ -236,7 +236,7 @@ class MetricsRegistry:
         self._instruments: Dict[str, object] = {}
         self._lock = threading.Lock()
 
-    def _get_or_create(self, name: str, factory, kind):
+    def _get_or_create(self, name: str, factory: Callable[[], Any], kind: type) -> Any:
         with self._lock:
             instrument = self._instruments.get(name)
             if instrument is None:
@@ -271,7 +271,7 @@ class MetricsRegistry:
         with self._lock:
             return sorted(self._instruments)
 
-    def get(self, name: str):
+    def get(self, name: str) -> Optional[object]:
         return self._instruments.get(name)
 
     def snapshot(self) -> Dict[str, Dict[str, object]]:

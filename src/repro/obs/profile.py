@@ -14,7 +14,7 @@ from __future__ import annotations
 import cProfile
 import pstats
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, Iterable, List, Optional
 
 
 @dataclass(frozen=True)
@@ -97,7 +97,7 @@ def _strip_path(filename: str) -> str:
     return filename
 
 
-def profile_call(fn: Callable, *args, **kwargs) -> ProfileReport:
+def profile_call(fn: Callable[..., Any], *args: Any, **kwargs: Any) -> ProfileReport:
     """Run ``fn(*args, **kwargs)`` under cProfile and collect the breakdown."""
     profiler = cProfile.Profile()
     profiler.enable()
@@ -129,7 +129,7 @@ def profile_call(fn: Callable, *args, **kwargs) -> ProfileReport:
     return ProfileReport(result=result, wall_seconds=wall, functions=functions)
 
 
-def profile_search(engine, query: str, **search_kwargs) -> ProfileReport:
+def profile_search(engine: Any, query: str, **search_kwargs: Any) -> ProfileReport:
     """Profile one ``engine.search(query, ...)`` call.
 
     Works with any object exposing the engine searching surface
@@ -145,7 +145,9 @@ def profile_search(engine, query: str, **search_kwargs) -> ProfileReport:
     return profile_call(engine.search, query, **search_kwargs)
 
 
-def profile_workload(engine, queries, **search_kwargs) -> ProfileReport:
+def profile_workload(
+    engine: Any, queries: Iterable[str], **search_kwargs: Any
+) -> ProfileReport:
     """Profile a whole sequence of serial searches (one aggregated report)."""
 
     def run() -> int:

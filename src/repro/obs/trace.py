@@ -31,7 +31,17 @@ import os
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import TYPE_CHECKING, Dict, List, Optional, Protocol, Sequence
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only, avoids a module cycle
+    from repro.obs.metrics import MetricsRegistry
+
+
+class SpanExporter(Protocol):
+    """Anything that can sink a batch of finished spans."""
+
+    def write(self, records: Sequence["SpanRecord"]) -> None:
+        ...
 
 #: Attribute value types that survive a JSON round trip unchanged.
 AttributeValue = object
@@ -40,7 +50,7 @@ _SPAN_COUNTER = itertools.count(1)
 _TRACE_COUNTER = itertools.count(1)
 
 
-def _new_id(counter) -> str:
+def _new_id(counter: "itertools.count[int]") -> str:
     """A process-unique id; the pid prefix keeps worker ids collision-free."""
     return f"{os.getpid():x}-{next(counter):x}"
 
@@ -122,7 +132,7 @@ class Span:
         name: str,
         parent_id: Optional[str],
         attributes: Dict[str, AttributeValue],
-    ):
+    ) -> None:
         self.tracer = tracer
         self.name = name
         self.span_id = _new_id(_SPAN_COUNTER)
@@ -142,7 +152,12 @@ class Span:
         self.tracer._push(self)
         return self
 
-    def __exit__(self, exc_type, exc, _traceback) -> None:
+    def __exit__(
+        self,
+        exc_type: Optional[type],
+        exc: Optional[BaseException],
+        _traceback: object,
+    ) -> None:
         if exc is not None:
             self.status = "error"
             self.attributes.setdefault("error", f"{type(exc).__name__}: {exc}")
@@ -199,9 +214,9 @@ class Tracer:
     def __init__(
         self,
         trace_id: Optional[str] = None,
-        metrics=None,
+        metrics: Optional["MetricsRegistry"] = None,
         io_spans: bool = False,
-    ):
+    ) -> None:
         if metrics is None:
             from repro.obs.metrics import MetricsRegistry
 
@@ -216,7 +231,9 @@ class Tracer:
     # ------------------------------------------------------------------ #
     # Span creation
     # ------------------------------------------------------------------ #
-    def span(self, name: str, parent_id=_UNSET, **attributes) -> Span:
+    def span(
+        self, name: str, parent_id: object = _UNSET, **attributes: AttributeValue
+    ) -> Span:
         """Open a span; parent defaults to this thread's innermost open span.
 
         Pass ``parent_id=None`` to force a root span, or an explicit id to
@@ -224,6 +241,7 @@ class Tracer:
         """
         if parent_id is _UNSET:
             parent_id = self.current_span_id
+        assert parent_id is None or isinstance(parent_id, str)
         return Span(self, name, parent_id, dict(attributes))
 
     @property
@@ -285,7 +303,7 @@ class Tracer:
         with self._lock:
             return list(self.finished)
 
-    def export(self, exporter) -> None:
+    def export(self, exporter: "SpanExporter") -> None:
         """Hand every finished span to an exporter (``write(records)``)."""
         exporter.write(self.records())
 
@@ -305,6 +323,6 @@ class TraceContext:
     parent_id: Optional[str]
     io_spans: bool = False
 
-    def tracer(self, metrics=None) -> Tracer:
+    def tracer(self, metrics: Optional["MetricsRegistry"] = None) -> Tracer:
         """Build the worker-side tracer continuing this trace."""
         return Tracer(trace_id=self.trace_id, metrics=metrics, io_spans=self.io_spans)

@@ -98,7 +98,7 @@ _DIRECTORY_CACHE: Dict[str, tuple] = {}
 _SHARD_CACHE: Dict[tuple, object] = {}
 
 
-def _catalog_mismatch(catalog, task: ShardSearchTask) -> Optional[str]:
+def _catalog_mismatch(catalog: "ShardCatalog", task: ShardSearchTask) -> Optional[str]:
     """What (if anything) differs between the task's and the loaded catalog."""
     if task.fingerprint is not None and catalog.fingerprint != task.fingerprint:
         return "configuration fingerprint"
@@ -134,7 +134,7 @@ def _open_directory(directory: str) -> tuple:
     return _DIRECTORY_CACHE[directory]
 
 
-def _open_shard_search(task: ShardSearchTask):
+def _open_shard_search(task: ShardSearchTask) -> "OasisSearch":
     """The worker's lazily opened, cached search over one shard image."""
     directory = os.path.abspath(task.directory)
     key = (

@@ -21,7 +21,11 @@ import enum
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only (storage sits below obs)
+    from repro.obs.metrics import Counter
+    from repro.obs.trace import Tracer
 
 from repro.storage.blocks import BlockFile
 
@@ -128,7 +132,7 @@ class BufferPool:
         region_offsets: Dict[Region, int],
         simulated_miss_latency: float = 0.0,
         sleep_on_miss: bool = False,
-    ):
+    ) -> None:
         if capacity_bytes <= 0:
             raise ValueError("capacity_bytes must be positive")
         if simulated_miss_latency < 0:
@@ -147,10 +151,10 @@ class BufferPool:
         self.statistics = BufferPoolStatistics()
         # Telemetry is attached (not constructed here) so the pool stays
         # dependency-free; instruments are resolved once in instrument().
-        self._tracer = None
-        self._metric_hits = None
-        self._metric_misses = None
-        self._metric_evictions = None
+        self._tracer: Optional["Tracer"] = None
+        self._metric_hits: Optional["Counter"] = None
+        self._metric_misses: Optional["Counter"] = None
+        self._metric_evictions: Optional["Counter"] = None
         # The pool is shared by every concurrent query execution: the table
         # and frame metadata are guarded by one lock, while the physical read
         # (and in particular the simulated miss latency) happens *outside* it
@@ -161,7 +165,7 @@ class BufferPool:
     # ------------------------------------------------------------------ #
     # Telemetry
     # ------------------------------------------------------------------ #
-    def instrument(self, tracer) -> None:
+    def instrument(self, tracer: Optional["Tracer"]) -> None:
         """Attach a :class:`~repro.obs.Tracer`; ``None`` detaches.
 
         Hit/miss/eviction counters are recorded into ``tracer.metrics``
@@ -241,7 +245,10 @@ class BufferPool:
             time.sleep(self.simulated_miss_latency)
         absolute_block = self._region_offsets[region] + block_in_region
         with self._io_lock:
-            return self._file.read_block(absolute_block)
+            # The one sanctioned read-under-lock: _io_lock exists *only* to
+            # serialise the seek+read pair on the shared file handle and is
+            # never held with _lock or anything else.
+            return self._file.read_block(absolute_block)  # repro: allow[lock-io]
 
     def _install(self, key: Tuple[Region, int], data: bytes) -> None:
         """Place a page in a frame chosen by the clock algorithm.

@@ -1,0 +1,228 @@
+"""The runtime lock-order detector, unit-level and wired into the engine.
+
+Unit level: an ABBA acquisition order must raise
+:class:`~repro.analysis.lockorder.LockOrderError` naming the cycle --
+deterministically, from the accumulated order graph, whether or not the
+interleaving actually deadlocked.  Reentrancy, consistent nesting and
+release-order tolerance must all stay silent.
+
+Integration level: a full sharded ``processes:2`` search (plus the
+always-in-process streaming path) under instrumented ``BufferPool`` and
+backend locks must come back cycle-free, with the instrumentation proven
+live by the monitor's acquisition counter -- and a deliberate ABBA on those
+same real locks must be reported.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+
+import pytest
+
+from repro.analysis.lockorder import LockOrderError, LockOrderMonitor, OrderedLock
+from repro.core.engine import OasisEngine
+from repro.sequences.alphabet import PROTEIN_ALPHABET
+from repro.sequences.database import SequenceDatabase
+from repro.sharding import ShardedEngine, ShardedIndexBuilder
+from repro.testing import instrument_lock_order, random_protein
+
+QUERY = "WKDDGNGYISAAE"
+EVALUE = 1_000.0
+BLOCK_SIZE = 512
+
+
+def make_locks(monitor, *names):
+    return [OrderedLock(threading.Lock(), name, monitor) for name in names]
+
+
+class TestMonitorUnit:
+    def test_single_threaded_abba_is_reported(self):
+        monitor = LockOrderMonitor()
+        a, b = make_locks(monitor, "A", "B")
+        with a:
+            with b:
+                pass
+        with pytest.raises(LockOrderError) as caught:
+            with b:
+                with a:
+                    pass
+        assert caught.value.cycle == ["A", "B"]
+        assert "A -> B -> A" in str(caught.value)
+
+    def test_cross_thread_abba_is_reported(self):
+        monitor = LockOrderMonitor()
+        a, b = make_locks(monitor, "A", "B")
+
+        def take_ab():
+            with a:
+                with b:
+                    pass
+
+        worker = threading.Thread(target=take_ab)
+        worker.start()
+        worker.join()
+        # This thread now closes the cycle in the *shared* graph, even
+        # though neither thread ever deadlocked.
+        with pytest.raises(LockOrderError):
+            with b:
+                with a:
+                    pass
+
+    def test_consistent_order_is_silent(self):
+        monitor = LockOrderMonitor()
+        a, b, c = make_locks(monitor, "A", "B", "C")
+        for _ in range(3):
+            with a:
+                with b:
+                    with c:
+                        pass
+        monitor.assert_acyclic()
+        assert monitor.edges() == [("A", "B"), ("A", "C"), ("B", "C")]
+
+    def test_rlock_reentrancy_adds_no_edge(self):
+        monitor = LockOrderMonitor()
+        lock = OrderedLock(threading.RLock(), "R", monitor)
+        with lock:
+            with lock:
+                pass
+        monitor.assert_acyclic()
+        assert monitor.edges() == []
+        assert monitor.acquisition_count == 2
+
+    def test_real_lock_is_released_when_cycle_raises(self):
+        # The error fires inside acquire(); the wrapper must not leave the
+        # underlying primitive held while the exception unwinds.
+        monitor = LockOrderMonitor()
+        a, b = make_locks(monitor, "A", "B")
+        with a:
+            with b:
+                pass
+        with pytest.raises(LockOrderError):
+            with b:
+                with a:
+                    pass
+        assert not a.locked()
+        assert not b.locked()
+
+    def test_nonblocking_acquire_failure_records_nothing(self):
+        monitor = LockOrderMonitor()
+        lock = OrderedLock(threading.Lock(), "L", monitor)
+        with lock:
+            grabbed = []
+
+            def try_take():
+                grabbed.append(lock.acquire(blocking=False))
+
+            worker = threading.Thread(target=try_take)
+            worker.start()
+            worker.join()
+            assert grabbed == [False]
+        assert monitor.acquisition_count == 1
+
+    def test_reset_clears_the_graph(self):
+        monitor = LockOrderMonitor()
+        a, b = make_locks(monitor, "A", "B")
+        with a:
+            with b:
+                pass
+        monitor.reset()
+        # The reversed order is now first sight, not a cycle.
+        with b:
+            with a:
+                pass
+        monitor.assert_acyclic()
+        assert monitor.edges() == [("B", "A")]
+
+
+@pytest.fixture(scope="module")
+def lockorder_database() -> SequenceDatabase:
+    rng = random.Random(11)
+    texts = [
+        random_protein(rng, rng.randint(10, 30)) + QUERY + random_protein(rng, 10)
+        for _ in range(6)
+    ]
+    texts += [random_protein(rng, rng.randint(20, 60)) for _ in range(6)]
+    return SequenceDatabase.from_texts(
+        texts, alphabet=PROTEIN_ALPHABET, name="lockorderable"
+    )
+
+
+@pytest.fixture(scope="module")
+def sharded_directory(tmp_path_factory, lockorder_database, pam30_matrix, gap8):
+    directory = tmp_path_factory.mktemp("lockorder-index") / "index"
+    ShardedIndexBuilder(
+        pam30_matrix, gap8, shard_count=2, block_size=BLOCK_SIZE
+    ).build(lockorder_database, directory)
+    return str(directory)
+
+
+class TestEngineIntegration:
+    def test_disk_engine_search_is_cycle_free(
+        self, sharded_directory, lockorder_database, pam30_matrix, gap8, tmp_path
+    ):
+        monitor = LockOrderMonitor()
+        engine = OasisEngine.build_on_disk(
+            lockorder_database,
+            pam30_matrix,
+            str(tmp_path / "mono.oasis"),
+            gap_model=gap8,
+            block_size=BLOCK_SIZE,
+        )
+        try:
+            installed = instrument_lock_order(monitor, engine.cursor.pool)
+            assert any(name.endswith("._lock") for name in installed)
+            assert any(name.endswith("._io_lock") for name in installed)
+            hits = engine.search(QUERY, evalue=EVALUE).hits
+        finally:
+            engine.cursor.close()
+        assert hits
+        assert monitor.acquisition_count > 0
+        monitor.assert_acyclic()
+
+    def test_sharded_process_search_is_cycle_free(self, sharded_directory):
+        """The headline scenario: processes:2 scatter + streaming, no cycles.
+
+        Process scatter itself runs in worker processes, but the parent
+        still owns the backend's pool lock, and the streaming path
+        (``search_online``) always executes in-process against the parent's
+        per-shard buffer pools -- so the instrumented locks see real
+        traffic from both paths.
+        """
+        monitor = LockOrderMonitor()
+        with ShardedEngine.open(sharded_directory, backend="processes:2") as engine:
+            pools = [shard.cursor.pool for shard in engine.shards]
+            installed = instrument_lock_order(monitor, engine._backend, *pools)
+            assert any("_pool_lock" in name for name in installed)
+            scattered = engine.search(QUERY, evalue=EVALUE).hits
+            streamed = list(engine.search_online(QUERY, evalue=EVALUE))
+        assert scattered
+        assert streamed
+        assert monitor.acquisition_count > 0
+        monitor.assert_acyclic()
+
+    def test_deliberate_abba_on_real_pool_locks_is_reported(
+        self, lockorder_database, pam30_matrix, gap8, tmp_path
+    ):
+        monitor = LockOrderMonitor()
+        engine = OasisEngine.build_on_disk(
+            lockorder_database,
+            pam30_matrix,
+            str(tmp_path / "abba.oasis"),
+            gap_model=gap8,
+            block_size=BLOCK_SIZE,
+        )
+        try:
+            pool = engine.cursor.pool
+            instrument_lock_order(monitor, pool)
+            with pool._lock:
+                with pool._io_lock:
+                    pass
+            with pytest.raises(LockOrderError) as caught:
+                with pool._io_lock:
+                    with pool._lock:
+                        pass
+            assert "_io_lock" in str(caught.value)
+            assert "_lock" in str(caught.value)
+        finally:
+            engine.cursor.close()

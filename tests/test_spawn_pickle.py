@@ -1,0 +1,140 @@
+"""Spawn-boundary round trips for the three designated payload classes.
+
+``ProcessBackend`` starts workers with the ``spawn`` context: a fresh
+interpreter re-imports every task class by qualified name and unpickles its
+fields.  These tests ship each payload class through a real spawn worker
+(``repro.testing.proc_roundtrip``) and compare what comes back -- the
+strongest possible form of "this class is spawn-safe", and the runtime
+complement of the static ``pickle-safety`` rule.
+
+One shared ProcessBackend for the module: spawn startup is the expensive
+part, and reusing the worker also proves the payloads coexist in one
+interpreter.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import pickle
+
+import pytest
+
+from repro.exec import ProcessBackend
+from repro.obs.trace import TraceContext
+from repro.sequences.alphabet import PROTEIN_ALPHABET
+from repro.sequences.database import SequenceDatabase
+from repro.sharding.remote import ShardBuildTask, ShardSearchTask
+from repro.testing import proc_roundtrip
+
+
+@pytest.fixture(scope="module")
+def spawn_backend():
+    with ProcessBackend(workers=1) as backend:
+        yield backend
+
+
+def roundtrip(backend, payload):
+    return backend.submit(proc_roundtrip, payload).result()
+
+
+def make_search_task(**overrides):
+    base = dict(
+        directory="/tmp/index",
+        shard_index=1,
+        query="TACG",
+        min_score=17,
+        max_results=50,
+        compute_alignments=True,
+        deadline_epoch=1_234.5,
+        buffer_pool_bytes=1 << 16,
+        simulated_miss_latency=0.01,
+        sleep_on_miss=False,
+        fingerprint={"matrix": "pam30", "gap": -8},
+        database_digest="abc123",
+    )
+    base.update(overrides)
+    return ShardSearchTask(**base)
+
+
+class TestShardSearchTask:
+    def test_spawn_roundtrip_preserves_every_field(self, spawn_backend):
+        task = make_search_task()
+        qualname, returned = roundtrip(spawn_backend, task)
+        assert qualname == "repro.sharding.remote.ShardSearchTask"
+        assert returned == task
+
+    def test_trace_context_field_survives_embedded(self, spawn_backend):
+        task = make_search_task(
+            trace=TraceContext(trace_id="t-1", parent_id="s-9", io_spans=True)
+        )
+        _, returned = roundtrip(spawn_backend, task)
+        assert returned.trace == task.trace
+        assert returned.trace.parent_id == "s-9"
+
+
+class TestShardBuildTask:
+    def test_spawn_roundtrip_preserves_the_embedded_database(self, spawn_backend):
+        database = SequenceDatabase.from_texts(
+            ["WKDDGNGYISAAE", "MKVLAADT"], alphabet=PROTEIN_ALPHABET, name="mini"
+        )
+        task = ShardBuildTask(
+            directory="/tmp/index",
+            image_name="shard-000.oasis",
+            sub_database=database,
+            block_size=512,
+            max_partition_size=10_000,
+        )
+        qualname, returned = roundtrip(spawn_backend, task)
+        assert qualname == "repro.sharding.remote.ShardBuildTask"
+        assert returned.directory == task.directory
+        assert returned.image_name == task.image_name
+        assert returned.block_size == task.block_size
+        assert returned.max_partition_size == task.max_partition_size
+        back = returned.sub_database
+        assert back.name == "mini"
+        assert len(back) == len(database)
+        assert [record.identifier for record in back] == [
+            record.identifier for record in database
+        ]
+
+
+class TestTraceContext:
+    def test_spawn_roundtrip(self, spawn_backend):
+        context = TraceContext(trace_id="t-42", parent_id=None, io_spans=False)
+        qualname, returned = roundtrip(spawn_backend, context)
+        assert qualname == "repro.obs.trace.TraceContext"
+        assert returned == context
+
+    def test_worker_side_tracer_continues_the_trace(self, spawn_backend):
+        context = TraceContext(trace_id="t-42", parent_id="s-1")
+        _, returned = roundtrip(spawn_backend, context)
+        tracer = returned.tracer()
+        assert tracer.trace_id == "t-42"
+
+
+class TestPayloadShape:
+    """The structural half: what makes these classes spawn-safe stays true."""
+
+    @pytest.mark.parametrize(
+        "payload_class", [ShardSearchTask, ShardBuildTask, TraceContext]
+    )
+    def test_payloads_are_frozen_dataclasses(self, payload_class):
+        assert dataclasses.is_dataclass(payload_class)
+        assert payload_class.__dataclass_params__.frozen
+
+    @pytest.mark.parametrize(
+        "payload_class", [ShardSearchTask, ShardBuildTask, TraceContext]
+    )
+    def test_payloads_are_module_level(self, payload_class):
+        # Spawn workers import by qualified name; a nested class has a
+        # dotted __qualname__ and would never resolve.
+        assert "." not in payload_class.__qualname__
+
+    def test_plain_pickle_roundtrip_without_a_worker(self):
+        # The cheap in-process check, for completeness: protocol-default
+        # pickle must already work before any process is involved.
+        for payload in (
+            make_search_task(),
+            TraceContext(trace_id="t", parent_id=None),
+        ):
+            assert pickle.loads(pickle.dumps(payload)) == payload
