@@ -22,7 +22,7 @@ import statistics
 import time
 
 from repro.experiments.common import build_protein_dataset
-from repro.obs import Tracer, profile_workload
+from repro.obs import ResourceSampler, Tracer, profile_workload
 from repro.testing import smoke_mode
 
 #: Queries per timed pass (kept small: the pass repeats REPEATS times per
@@ -61,8 +61,10 @@ def test_bench_telemetry_overhead_and_profile(config, bench_record):
 
     tracer = Tracer()
     engine.instrument(tracer)
+    sampler = ResourceSampler.for_engine(tracer, engine, interval=0.01)
     try:
-        enabled = _time_workload(engine, queries, evalue, tracer=tracer)
+        with sampler:
+            enabled = _time_workload(engine, queries, evalue, tracer=tracer)
     finally:
         engine.instrument(None)
 
@@ -97,12 +99,20 @@ def test_bench_telemetry_overhead_and_profile(config, bench_record):
             "spans_recorded": len(tracer.records()),
             "expand_share": expand_share,
             "profile": profile.as_dict(limit=20),
+            # What the process looked like during the enabled passes (RSS,
+            # thread count; pool/queue taps are empty on this in-memory
+            # engine) -- the resource time series rides the bench record.
+            "sampler": sampler.summary(),
         },
     )
 
     # The tracer really did observe the enabled passes.
     assert len(tracer.records()) == REPEATS * len(queries)
     assert tracer.metrics.counter("search.queries").value == REPEATS * len(queries)
+    # ... and the sampler rode along: at least the start/stop samples, with
+    # its gauges registered on the same metrics registry.
+    assert len(sampler.samples) >= 2
+    assert tracer.metrics.counter("sampler.ticks").value == len(sampler.samples)
 
     if smoke_mode():
         return

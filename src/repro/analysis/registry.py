@@ -26,6 +26,7 @@ from repro.analysis.framework import Rule
 from repro.analysis.layering import LayeringRule
 from repro.analysis.lockdiscipline import LockBlockingRule, LockScopeRule
 from repro.analysis.picklesafety import ProcessSubmitRule, SpawnTaskClassRule
+from repro.analysis.timesource import WallClockRule
 
 
 def all_rules() -> List[Rule]:
@@ -40,6 +41,7 @@ def all_rules() -> List[Rule]:
         BareExceptRule(),
         MutableDefaultRule(),
         TracerGuardRule(),
+        WallClockRule(),
     ]
 
 

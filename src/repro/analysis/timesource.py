@@ -1,0 +1,68 @@
+"""Time-source rule: durations come from monotonic clocks, never the wall.
+
+Every span, deadline and benchmark in this codebase measures elapsed time
+with ``time.perf_counter()`` (wall) and ``time.process_time()`` (CPU).
+``time.time()`` is not a duration clock: NTP slews and steps it, so a
+subtraction across an adjustment produces negative or wildly wrong
+timings -- the kind of corruption a trace analyzer then faithfully
+reports as a phase taking -3 ms.
+
+The few *legitimate* uses of the epoch clock -- cross-process comparable
+span start stamps, absolute deadlines shipped to worker processes -- are
+individually suppressed with ``# repro: allow[monotonic-time]``, which
+keeps each one visible in the analysis report.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Optional
+
+from repro.analysis.framework import ModuleInfo, Rule, Violation
+
+
+class WallClockRule(Rule):
+    """``time.time()`` is banned in ``src/``; suppress the epoch-stamp sites."""
+
+    rule_id = "monotonic-time"
+    description = (
+        "span/duration timing must use time.perf_counter()/process_time(); "
+        "time.time() is wall-clock (NTP-adjustable) and corrupts durations "
+        "-- epoch stamps that truly need it carry an explicit allow[]"
+    )
+
+    def check(self, module: ModuleInfo) -> Iterator[Violation]:
+        epoch_aliases = self._from_import_aliases(module.tree)
+        for node in ast.walk(module.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            offender: Optional[str] = None
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr == "time"
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "time"
+            ):
+                offender = "time.time()"
+            elif isinstance(func, ast.Name) and func.id in epoch_aliases:
+                offender = f"{func.id}() (imported from time.time)"
+            if offender is not None:
+                yield self.violation(
+                    module,
+                    node,
+                    f"{offender} measures the adjustable wall clock; use "
+                    "time.perf_counter() for elapsed time or "
+                    "time.process_time() for CPU time",
+                )
+
+    @staticmethod
+    def _from_import_aliases(tree: ast.Module) -> set:
+        """Local names bound to ``time.time`` via ``from time import time``."""
+        aliases = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom) and node.module == "time":
+                for alias in node.names:
+                    if alias.name == "time":
+                        aliases.add(alias.asname or alias.name)
+        return aliases

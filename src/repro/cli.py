@@ -132,7 +132,24 @@ def _build_parser() -> argparse.ArgumentParser:
         "--metrics",
         action="store_true",
         help="print the metrics registry (nodes expanded, DP cells, pool "
-        "hit rates, backend latencies) after the run",
+        "hit rates, backend latencies, p50/p99 latency quantiles) after "
+        "the run",
+    )
+    search.add_argument(
+        "--slow-log",
+        type=float,
+        metavar="SECONDS",
+        help="after the run, log every query whose span exceeded this many "
+        "seconds to stderr with its per-phase time breakdown "
+        "(expand/scatter/shard/merge/pool I/O)",
+    )
+    search.add_argument(
+        "--sample",
+        type=float,
+        metavar="INTERVAL",
+        help="sample RSS, buffer-pool occupancy/hit-ratio, backend queue "
+        "depth and thread count every INTERVAL seconds during the run "
+        "(reported as sampler.* gauges; combine with --metrics)",
     )
 
     index = subparsers.add_parser("index", help="manage persistent sharded indexes")
@@ -329,10 +346,14 @@ def _command_search(args: argparse.Namespace) -> int:
     queries = [args.query] if args.query is not None else _read_query_file(args.queries)
 
     tracer = None
-    if args.trace or args.metrics:
+    if args.trace or args.metrics or args.slow_log is not None or args.sample is not None:
         from repro.obs import Tracer
 
         tracer = Tracer()
+    if args.slow_log is not None and args.slow_log < 0:
+        raise SystemExit("--slow-log must be non-negative")
+    if args.sample is not None and args.sample <= 0:
+        raise SystemExit("--sample must be positive")
 
     engine = _build_search_engine(args)
     if tracer is not None:
@@ -340,9 +361,18 @@ def _command_search(args: argparse.Namespace) -> int:
         if instrument is not None:
             instrument(tracer)
 
+    if args.sample is not None:
+        from repro.obs import ResourceSampler
+
+        sampler = ResourceSampler.for_engine(tracer, engine, interval=args.sample)
+    else:
+        sampler = None
+
     # Single and batch mode both run through the concurrent executor; a lone
     # query is simply a batch of one.
     try:
+        if sampler is not None:
+            sampler.start()
         report = engine.search_many(
             queries,
             workers=args.workers,
@@ -353,6 +383,8 @@ def _command_search(args: argparse.Namespace) -> int:
             tracer=tracer,
         )
     finally:
+        if sampler is not None:
+            sampler.stop()
         close = getattr(engine, "close", None)
         if close is not None:
             close()
@@ -384,8 +416,40 @@ def _command_search(args: argparse.Namespace) -> int:
     return 1 if report.statistics.failed else 0
 
 
+def _emit_slow_log(threshold: float, tracer) -> None:
+    """Log every query span over ``threshold`` with its phase breakdown."""
+    from repro.obs import phase_breakdown, span_phase
+
+    records = tracer.records()
+    slow = sorted(
+        (
+            record
+            for record in records
+            if record.name == "query" and record.wall_seconds >= threshold
+        ),
+        key=lambda record: (-record.wall_seconds, record.span_id),
+    )
+    if not slow:
+        return
+    print(f"--- slow queries (>= {threshold:g}s) ---", file=sys.stderr)
+    for record in slow:
+        print(
+            f"query span {record.span_id} wall={record.wall_seconds:.3f}s "
+            f"cpu={record.cpu_seconds:.3f}s pid={record.pid} "
+            f"phase={span_phase(record)} status={record.status}",
+            file=sys.stderr,
+        )
+        breakdown = phase_breakdown(records, root_id=record.span_id)
+        for phase in sorted(breakdown, key=lambda name: (-breakdown[name], name)):
+            seconds = breakdown[phase]
+            share = seconds / record.wall_seconds if record.wall_seconds else 0.0
+            print(f"  {phase:8s} {seconds:8.3f}s {share:6.1%}", file=sys.stderr)
+
+
 def _emit_telemetry(args: argparse.Namespace, tracer) -> None:
     """Write the trace file and/or print the metrics dump after a search."""
+    if args.slow_log is not None:
+        _emit_slow_log(args.slow_log, tracer)
     if args.trace:
         from repro.obs import JsonLinesExporter
 

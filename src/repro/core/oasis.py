@@ -168,7 +168,9 @@ class QueryExecution:
         self.tracer = tracer
         self.trace_name = "query"
         self.trace_parent: Optional[str] = None
-        self.trace_attributes: Dict[str, object] = {}
+        #: ``phase`` feeds the per-phase breakdown in ``repro.obs.analyze``:
+        #: a standalone execution is pure DP expansion; coordinators relabel.
+        self.trace_attributes: Dict[str, object] = {"phase": "expand"}
         self._pool_start: Optional[tuple] = None
 
         self._cancel_event = cancel_event

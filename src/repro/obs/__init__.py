@@ -20,6 +20,19 @@ adding cost when unused:
   query under cProfile and reports the hot-function breakdown -- the
   evidence ROADMAP's expansion-vectorisation item asks for.
 
+On top of the emitters sits the analysis stack:
+
+* **Trace analytics** (:mod:`repro.obs.analyze` + ``python -m
+  repro.obs.report``): critical path, per-phase wall/CPU breakdown
+  (expand / scatter / shard / merge / pool I/O), per-pid attribution and
+  slowest-query lists over a recorded trace.
+* **Resource sampling** (:mod:`repro.obs.sampler`): a background
+  :class:`ResourceSampler` recording RSS, buffer-pool occupancy/hit-ratio,
+  backend queue depth and thread count into ``sampler.*`` gauges.
+* **Regression sentry** (:mod:`repro.obs.regress` + ``python -m
+  repro.obs.regress``): compares committed ``BENCH_*.json`` records against
+  the ``BENCH_history.jsonl`` trajectory and fails CI on perf regressions.
+
 Every instrumented call site takes ``tracer=None``; passing a
 :class:`Tracer` (which owns a :class:`MetricsRegistry` as ``tracer.metrics``)
 switches the whole stack on.  ``None`` costs one identity check.
@@ -27,6 +40,14 @@ switches the whole stack on.  ``None`` costs one identity check.
 hierarchy (``get_logger``/``configure_logging``) alongside.
 """
 
+from repro.obs.analyze import (
+    NameStats,
+    PhaseSlice,
+    TraceAnalysis,
+    analyze,
+    phase_breakdown,
+    span_phase,
+)
 from repro.obs.exporters import (
     InMemorySink,
     JsonLinesExporter,
@@ -49,6 +70,11 @@ from repro.obs.profile import (
     profile_search,
     profile_workload,
 )
+# repro.obs.report / repro.obs.regress / repro.obs.validate are deliberately
+# NOT imported here: they are `python -m` entry points, and importing them
+# from the package would shadow runpy's module execution (double-import
+# warning).  Import them directly when embedding.
+from repro.obs.sampler import ResourceSample, ResourceSampler, read_rss_bytes
 from repro.obs.trace import Span, SpanRecord, TraceContext, Tracer
 
 __all__ = [
@@ -60,17 +86,26 @@ __all__ = [
     "InMemorySink",
     "JsonLinesExporter",
     "MetricsRegistry",
+    "NameStats",
+    "PhaseSlice",
     "ProfileReport",
+    "ResourceSample",
+    "ResourceSampler",
     "Span",
     "SpanRecord",
+    "TraceAnalysis",
     "TraceContext",
     "Tracer",
+    "analyze",
     "configure_logging",
     "get_logger",
+    "phase_breakdown",
     "profile_call",
     "profile_search",
     "profile_workload",
     "read_jsonl",
+    "read_rss_bytes",
     "render_span_tree",
+    "span_phase",
     "validate_trace",
 ]

@@ -93,13 +93,26 @@ class JsonLinesExporter:
 
 
 def read_jsonl(path: PathLike) -> List[SpanRecord]:
-    """Parse a JSON-lines trace file back into span records."""
+    """Parse a JSON-lines trace file back into span records.
+
+    Blank (or whitespace-only) lines are tolerated -- concatenated or
+    hand-edited traces have them.  A malformed line raises ``ValueError``
+    carrying the file path and 1-based line number, so the offending line
+    can be found without bisecting the file.
+    """
     records: List[SpanRecord] = []
     with open(path, "r", encoding="utf-8") as handle:
-        for line in handle:
+        for number, line in enumerate(handle, start=1):
             line = line.strip()
-            if line:
-                records.append(SpanRecord.from_dict(json.loads(line)))
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise ValueError(
+                    f"{os.fspath(path)}:{number}: invalid JSON in trace line: {error}"
+                ) from error
+            records.append(SpanRecord.from_dict(payload))
     return records
 
 
@@ -162,8 +175,10 @@ def render_span_tree(records: Sequence[SpanRecord]) -> str:
     """An indented, human-readable tree of one trace (roots first).
 
     Children are ordered by start time, so the rendering reads as a
-    timeline.  Orphans (unresolved parents -- e.g. a partial export) are
-    shown as extra roots rather than dropped.
+    timeline; name and span id break start-time ties, making the output
+    fully deterministic (diffable across runs even when spans started
+    within clock resolution of each other).  Orphans (unresolved parents
+    -- e.g. a partial export) are shown as extra roots rather than dropped.
     """
     by_id = {record.span_id: record for record in records}
     children: Dict[Optional[str], List[SpanRecord]] = {}
@@ -171,7 +186,7 @@ def render_span_tree(records: Sequence[SpanRecord]) -> str:
         parent = record.parent_id if record.parent_id in by_id else None
         children.setdefault(parent, []).append(record)
     for siblings in children.values():
-        siblings.sort(key=lambda record: record.start_epoch)
+        siblings.sort(key=lambda record: (record.start_epoch, record.name, record.span_id))
 
     lines: List[str] = []
 

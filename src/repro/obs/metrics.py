@@ -21,6 +21,7 @@ Design constraints, in order:
 from __future__ import annotations
 
 import bisect
+import math
 import threading
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -176,12 +177,18 @@ class Histogram:
         return self._sum / self._count if self._count else 0.0
 
     def quantile(self, q: float) -> float:
-        """Upper bound of the bucket holding the q-quantile observation."""
+        """Upper bound of the bucket holding the q-quantile observation.
+
+        Nearest-rank definition: the bucket containing observation number
+        ``ceil(q * count)`` (at least 1), so ``q=0`` reports the bucket of
+        the smallest observation -- never the edge of an empty leading
+        bucket -- and ``q=1`` the bucket of the largest.
+        """
         if not 0.0 <= q <= 1.0:
             raise ValueError("q must be in [0, 1]")
         if self._count == 0:
             return 0.0
-        rank = q * self._count
+        rank = max(1, math.ceil(q * self._count))
         cumulative = 0
         for index, count in enumerate(self._counts):
             cumulative += count

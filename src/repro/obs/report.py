@@ -1,0 +1,202 @@
+"""Render a trace analysis: ``python -m repro.obs.report TRACE.jsonl``.
+
+Loads a JSON-lines trace (the ``search --trace FILE`` output), runs
+:func:`repro.obs.analyze.analyze` over it and prints a deterministic
+report: critical path, per-phase wall/CPU table (whose wall column sums to
+the root span -- the timeline sweep partitions the root interval), per-pid
+attribution for process backends, per-span-name aggregates and the N
+slowest queries.  ``--markdown`` renders the tables as GitHub-flavoured
+markdown instead of aligned text; ``--top N`` widens the slow-query list.
+
+Exit codes: 0 on success, 1 when the trace is unreadable or empty,
+2 on usage errors -- the same contract as :mod:`repro.obs.validate`.
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import List, Optional, Sequence
+
+from repro.obs.analyze import TraceAnalysis, analyze, span_phase
+from repro.obs.exporters import read_jsonl
+from repro.obs.trace import SpanRecord
+
+
+def _seconds(value: float) -> str:
+    return f"{value:.6f}s"
+
+
+def _percent(part: float, whole: float) -> str:
+    return f"{100.0 * part / whole:5.1f}%" if whole > 0 else "  0.0%"
+
+
+def _table(header: Sequence[str], rows: Sequence[Sequence[str]], markdown: bool) -> List[str]:
+    """One table, as aligned text or markdown (both deterministic)."""
+    if markdown:
+        lines = ["| " + " | ".join(header) + " |"]
+        lines.append("|" + "|".join(" --- " for _ in header) + "|")
+        for row in rows:
+            lines.append("| " + " | ".join(row) + " |")
+        return lines
+    widths = [
+        max(len(header[column]), *(len(row[column]) for row in rows)) if rows else len(header[column])
+        for column in range(len(header))
+    ]
+    lines = ["  ".join(cell.ljust(widths[i]) for i, cell in enumerate(header)).rstrip()]
+    for row in rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)).rstrip())
+    return lines
+
+
+def _describe(record: SpanRecord) -> str:
+    """A one-line span label: name plus its most informative attributes."""
+    interesting = {
+        key: value
+        for key, value in sorted(record.attributes.items())
+        if key in ("shard", "shards", "queries", "hits", "query_length", "streaming")
+    }
+    attributes = ", ".join(f"{key}={value}" for key, value in interesting.items())
+    return f"{record.name}[{attributes}]" if attributes else record.name
+
+
+def render_report(
+    analysis: TraceAnalysis, markdown: bool = False, title: str = "trace report"
+) -> str:
+    """The full report as one deterministic string."""
+    out: List[str] = []
+    heading = "# " if markdown else ""
+    section = "## " if markdown else "-- "
+    root_names = ", ".join(sorted({record.name for record in analysis.roots})) or "none"
+    out.append(f"{heading}{title}")
+    out.append(
+        f"{analysis.span_count} spans, {len(analysis.roots)} root(s) [{root_names}], "
+        f"total wall {_seconds(analysis.total_wall_seconds)}"
+    )
+
+    out.append("")
+    out.append(f"{section}critical path")
+    rows = []
+    for node in analysis.critical_path:
+        indent = "" if markdown else "  " * node.depth
+        rows.append(
+            [
+                indent + _describe(node.record),
+                span_phase(node.record),
+                _seconds(node.record.wall_seconds),
+                _seconds(node.record.cpu_seconds),
+                str(node.record.pid),
+            ]
+        )
+    out.extend(_table(["span", "phase", "wall", "cpu", "pid"], rows, markdown))
+
+    out.append("")
+    out.append(f"{section}per-phase breakdown")
+    rows = [
+        [
+            entry.phase,
+            _seconds(entry.wall_seconds),
+            _percent(entry.wall_seconds, analysis.total_wall_seconds),
+            _seconds(entry.cpu_seconds),
+            str(entry.span_count),
+        ]
+        for entry in analysis.phases
+    ]
+    rows.append(
+        [
+            "total",
+            _seconds(sum(entry.wall_seconds for entry in analysis.phases)),
+            _percent(
+                sum(entry.wall_seconds for entry in analysis.phases),
+                analysis.total_wall_seconds,
+            ),
+            _seconds(sum(entry.cpu_seconds for entry in analysis.phases)),
+            str(analysis.span_count),
+        ]
+    )
+    out.extend(_table(["phase", "wall", "%", "self-cpu", "spans"], rows, markdown))
+
+    if len(analysis.pid_wall) > 1:
+        out.append("")
+        out.append(f"{section}per-pid attribution")
+        rows = [
+            [
+                str(pid),
+                _seconds(analysis.pid_wall.get(pid, 0.0)),
+                _percent(analysis.pid_wall.get(pid, 0.0), analysis.total_wall_seconds),
+                _seconds(analysis.pid_cpu.get(pid, 0.0)),
+            ]
+            for pid in sorted(set(analysis.pid_wall) | set(analysis.pid_cpu))
+        ]
+        out.extend(_table(["pid", "wall", "%", "self-cpu"], rows, markdown))
+
+    out.append("")
+    out.append(f"{section}per-span-name aggregates")
+    rows = [
+        [
+            stats.name,
+            str(stats.count),
+            _seconds(stats.wall_seconds),
+            _seconds(stats.mean_wall_seconds),
+            _seconds(stats.max_wall_seconds),
+            _seconds(stats.cpu_seconds),
+        ]
+        for stats in analysis.names
+    ]
+    out.extend(
+        _table(["name", "count", "wall", "mean", "max", "cpu"], rows, markdown)
+    )
+
+    if analysis.slowest_queries:
+        out.append("")
+        out.append(f"{section}slowest queries")
+        rows = [
+            [
+                _describe(record),
+                _seconds(record.wall_seconds),
+                _seconds(record.cpu_seconds),
+                str(record.pid),
+                record.status,
+            ]
+            for record in analysis.slowest_queries
+        ]
+        out.extend(_table(["query", "wall", "cpu", "pid", "status"], rows, markdown))
+    return "\n".join(out)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    markdown = "--markdown" in argv
+    argv = [arg for arg in argv if arg != "--markdown"]
+    top = 5
+    if "--top" in argv:
+        index = argv.index("--top")
+        try:
+            top = int(argv[index + 1])
+        except (IndexError, ValueError):
+            print("--top needs an integer argument", file=sys.stderr)
+            return 2
+        del argv[index : index + 2]
+    paths = [arg for arg in argv if not arg.startswith("--")]
+    if len(paths) != 1 or len(paths) != len(argv):
+        print(
+            "usage: python -m repro.obs.report [--markdown] [--top N] TRACE.jsonl",
+            file=sys.stderr,
+        )
+        return 2
+    try:
+        records = read_jsonl(paths[0])
+    except (OSError, ValueError, KeyError) as error:
+        print(f"unreadable trace {paths[0]}: {error}", file=sys.stderr)
+        return 1
+    if not records:
+        print(f"empty trace {paths[0]}", file=sys.stderr)
+        return 1
+    try:
+        print(render_report(analyze(records, top=top), markdown=markdown, title=paths[0]))
+    except BrokenPipeError:  # reader (e.g. `| head`) closed the pipe early
+        return 0
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess in CI
+    sys.exit(main())

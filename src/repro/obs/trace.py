@@ -140,7 +140,9 @@ class Span:
         self.parent_id = parent_id
         self.attributes = attributes
         self.status = "ok"
-        self._start_epoch = time.time()
+        # Epoch stamp, not a duration: start times must be comparable across
+        # processes, which the monotonic clocks are not.
+        self._start_epoch = time.time()  # repro: allow[monotonic-time]
         self._start_wall = time.perf_counter()
         self._start_cpu = time.process_time()
         self._closed = False

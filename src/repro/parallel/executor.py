@@ -483,7 +483,7 @@ class BatchSearchExecutor:
         span = None
         if tracer is not None:
             span = tracer.span(
-                "batch", backend=self.backend_spec, queries=len(query_list)
+                "batch", backend=self.backend_spec, queries=len(query_list), phase="batch"
             )
             tracer._push(span)
             self._batch_parent = span.span_id

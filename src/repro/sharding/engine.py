@@ -135,7 +135,7 @@ class ShardedQueryExecution:
         for shard, execution in enumerate(self.executions):
             execution.trace_name = "shard"
             execution.trace_parent = parent_id
-            execution.trace_attributes = {"shard": shard}
+            execution.trace_attributes = {"shard": shard, "phase": "shard"}
 
     def abort(self) -> None:
         for execution in self.executions:
@@ -190,10 +190,11 @@ class ShardedQueryExecution:
                     parent_id=self.trace_parent,
                     shards=len(self.executions),
                     streaming=True,
+                    phase="scatter",
                 )
             else:
                 span = self.tracer.span(
-                    "query", shards=len(self.executions), streaming=True
+                    "query", shards=len(self.executions), streaming=True, phase="scatter"
                 )
             self.tracer._push(span)
             self._label_shard_executions(span.span_id)
@@ -270,9 +271,12 @@ class ShardedQueryExecution:
                         "query",
                         parent_id=self.trace_parent,
                         shards=len(self.executions),
+                        phase="scatter",
                     )
                 else:
-                    span = tracer.span("query", shards=len(self.executions))
+                    span = tracer.span(
+                        "query", shards=len(self.executions), phase="scatter"
+                    )
                 tracer._push(span)
                 # Shard executions may run on pool threads (or in worker
                 # processes); their spans parent under the query span by
@@ -285,7 +289,9 @@ class ShardedQueryExecution:
                 if span is None:
                     hits = self._merge_hits(shard_results)
                 else:
-                    with tracer.span("merge", parent_id=span.span_id) as merge_span:
+                    with tracer.span(
+                        "merge", parent_id=span.span_id, phase="merge"
+                    ) as merge_span:
                         hits = self._merge_hits(shard_results)
                         merge_span.set_attribute("hits", len(hits))
             finally:
@@ -874,7 +880,10 @@ class ShardedEngine:
         first = executions[0]
         deadline_epoch: Optional[float] = None
         if first._deadline is not None:
-            deadline_epoch = time.time() + (first._deadline - time.perf_counter())
+            # Epoch translation for cross-process deadlines, not a duration.
+            deadline_epoch = time.time() + (  # repro: allow[monotonic-time]
+                first._deadline - time.perf_counter()
+            )
         trace_context = None
         if first.tracer is not None:
             # Workers continue the parent's trace: same trace_id, shard spans

@@ -201,7 +201,9 @@ def _open_shard_search(task: ShardSearchTask) -> "OasisSearch":
 
 
 def _expired(task: ShardSearchTask) -> bool:
-    return task.deadline_epoch is not None and task.deadline_epoch <= time.time()
+    # Epoch comparison: the deadline was translated to wall clock to cross
+    # the process boundary.
+    return task.deadline_epoch is not None and task.deadline_epoch <= time.time()  # repro: allow[monotonic-time]
 
 
 def _timed_out_payload() -> dict:
@@ -257,7 +259,8 @@ def run_shard_search(task: ShardSearchTask) -> dict:
     search = _open_shard_search(task)
     time_budget: Optional[float] = None
     if task.deadline_epoch is not None:
-        time_budget = task.deadline_epoch - time.time()
+        # Back from the epoch deadline to a relative budget (worker side).
+        time_budget = task.deadline_epoch - time.time()  # repro: allow[monotonic-time]
         if time_budget <= 0:
             return _timed_out_payload()
     tracer = None
@@ -280,7 +283,7 @@ def run_shard_search(task: ShardSearchTask) -> dict:
             # was born with (pid-prefixed) stay valid when the parent adopts.
             execution.trace_name = "shard"
             execution.trace_parent = task.trace.parent_id
-            execution.trace_attributes = {"shard": task.shard_index}
+            execution.trace_attributes = {"shard": task.shard_index, "phase": "shard"}
         result = execution.result()
     finally:
         if tracer is not None:

@@ -214,7 +214,9 @@ class BufferPool:
         # lock is what lets a thread pool overlap its miss stalls.
         tracer = self._tracer
         if tracer is not None and tracer.io_spans:
-            with tracer.span("pool.miss", region=int(region), block=block_in_region):
+            with tracer.span(
+                "pool.miss", region=int(region), block=block_in_region, phase="pool_io"
+            ):
                 data = self._read_physical(region, block_in_region)
         else:
             data = self._read_physical(region, block_in_region)
@@ -283,6 +285,21 @@ class BufferPool:
         victim.referenced = True
         self._page_table[key] = self._clock_hand
         self._clock_hand = (self._clock_hand + 1) % self.frame_count
+
+    def resource_sample(self) -> Dict[str, float]:
+        """Point-in-time occupancy/hit-ratio state for the resource sampler.
+
+        One lock acquisition per call (the sampler ticks a few times per
+        second at most); the returned dict is a consistent snapshot.
+        """
+        with self._lock:
+            resident = float(len(self._page_table))
+            return {
+                "resident_pages": resident,
+                "frame_count": float(self.frame_count),
+                "occupancy": resident / self.frame_count,
+                "hit_ratio": self.statistics.hit_ratio,
+            }
 
     # ------------------------------------------------------------------ #
     # Management

@@ -552,3 +552,85 @@ class TestRealTree:
         out = capsys.readouterr().out
         # The sanctioned waivers are visible, not silent.
         assert "(suppressed)" in out
+
+
+class TestWallClockRule:
+    def test_time_time_call_is_flagged(self, tmp_path):
+        report = violations_for(
+            tmp_path,
+            "core/timing.py",
+            """
+            import time
+
+            def elapsed(start):
+                return time.time() - start
+            """,
+        )
+        assert rule_ids(report) == ["monotonic-time"]
+        (violation,) = report.violations
+        assert "perf_counter" in violation.message
+
+    def test_from_import_alias_is_flagged(self, tmp_path):
+        report = violations_for(
+            tmp_path,
+            "core/timing.py",
+            """
+            from time import time as now
+
+            def stamp():
+                return now()
+            """,
+        )
+        assert rule_ids(report) == ["monotonic-time"]
+
+    def test_monotonic_clocks_pass(self, tmp_path):
+        report = violations_for(
+            tmp_path,
+            "core/timing.py",
+            """
+            import time
+
+            def measure(work):
+                wall = time.perf_counter()
+                cpu = time.process_time()
+                work()
+                return time.perf_counter() - wall, time.process_time() - cpu
+            """,
+        )
+        assert report.ok
+
+    def test_unrelated_time_attribute_passes(self, tmp_path):
+        report = violations_for(
+            tmp_path,
+            "core/timing.py",
+            """
+            import time
+
+            def pause():
+                time.sleep(0.01)
+
+            def local_shadow():
+                def time():
+                    return 0
+                return time()
+            """,
+        )
+        assert report.ok
+
+    def test_suppression_waives_the_epoch_stamp(self, tmp_path):
+        path = write_module(
+            tmp_path,
+            "obs/stamp.py",
+            """
+            import time
+
+            def epoch_stamp():
+                return time.time()  # repro: allow[monotonic-time]
+            """,
+        )
+        report = analyze_paths([path])
+        assert report.ok
+        assert [entry.rule_id for entry in report.suppressed] == ["monotonic-time"]
+
+    def test_catalog_lists_the_rule(self):
+        assert "monotonic-time" in rule_catalog()

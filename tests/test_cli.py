@@ -593,3 +593,63 @@ class TestExperimentCommand:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestSlowLogAndSampler:
+    def _search(self, fasta, queries, *extra):
+        return [
+            "search",
+            "--database",
+            str(fasta),
+            "--queries",
+            str(queries),
+            "--shards",
+            "2",
+            "--min-score",
+            "15",
+            *extra,
+        ]
+
+    def test_slow_log_prints_phase_breakdown(self, generated_files, capsys):
+        fasta, queries = generated_files
+        code = main(self._search(fasta, queries, "--slow-log", "0"))
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "--- slow queries (>= 0s) ---" in err
+        assert "query span" in err
+        # Sharded queries decompose into scatter/shard/merge phases.
+        assert "shard" in err
+        assert "scatter" in err
+
+    def test_unreachable_threshold_logs_nothing(self, generated_files, capsys):
+        fasta, queries = generated_files
+        code = main(self._search(fasta, queries, "--slow-log", "999"))
+        assert code == 0
+        assert "slow queries" not in capsys.readouterr().err
+
+    def test_negative_slow_log_rejected(self, generated_files):
+        fasta, queries = generated_files
+        with pytest.raises(SystemExit):
+            main(self._search(fasta, queries, "--slow-log", "-1"))
+
+    def test_sample_gauges_reach_the_metrics_dump(self, generated_files, capsys):
+        fasta, queries = generated_files
+        code = main(self._search(fasta, queries, "--sample", "0.01", "--metrics"))
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "sampler.ticks" in err
+        assert "sampler.threads" in err
+        assert "sampler.rss_bytes" in err
+
+    def test_metrics_dump_includes_histogram_quantiles(self, generated_files, capsys):
+        fasta, queries = generated_files
+        code = main(self._search(fasta, queries, "--workers", "2", "--metrics"))
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "p50<=" in err
+        assert "p99<=" in err
+
+    def test_non_positive_sample_rejected(self, generated_files):
+        fasta, queries = generated_files
+        with pytest.raises(SystemExit):
+            main(self._search(fasta, queries, "--sample", "0"))

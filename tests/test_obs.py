@@ -341,3 +341,98 @@ class TestProfileAndLogging:
         get_logger("test").info("hello from the hierarchy")
         assert "hello from the hierarchy" in stream.getvalue()
         configure_logging(0)  # restore the quiet default for other tests
+
+
+# --------------------------------------------------------------------- #
+# Histogram quantile edges, reader diagnostics, deterministic rendering
+# --------------------------------------------------------------------- #
+class TestHistogramQuantileEdges:
+    def make(self, *values, boundaries=(0.1, 1.0)):
+        histogram = MetricsRegistry().histogram("h", boundaries=boundaries)
+        for value in values:
+            histogram.observe(value)
+        return histogram
+
+    def test_empty_histogram_is_zero_everywhere(self):
+        histogram = self.make()
+        assert histogram.quantile(0.0) == 0.0
+        assert histogram.quantile(0.5) == 0.0
+        assert histogram.quantile(1.0) == 0.0
+
+    def test_q_zero_reports_the_smallest_observations_bucket(self):
+        histogram = self.make(0.05, 0.5, 5.0)
+        # Never the edge of an empty leading bucket: rank floors at 1.
+        assert histogram.quantile(0.0) == 0.1
+
+    def test_q_one_reports_the_largest_observations_bucket(self):
+        assert self.make(0.05, 0.5).quantile(1.0) == 1.0
+
+    def test_single_observation_is_every_quantile(self):
+        histogram = self.make(0.5)
+        for q in (0.0, 0.25, 0.5, 0.99, 1.0):
+            assert histogram.quantile(q) == 1.0
+
+    def test_overflow_bucket_reports_the_mean(self):
+        histogram = self.make(5.0, 7.0)
+        assert histogram.quantile(1.0) == pytest.approx(6.0)
+
+    def test_out_of_range_q_rejected(self):
+        histogram = self.make(0.5)
+        with pytest.raises(ValueError):
+            histogram.quantile(-0.1)
+        with pytest.raises(ValueError):
+            histogram.quantile(1.1)
+
+
+class TestReaderDiagnostics:
+    def test_read_jsonl_skips_blank_lines(self, tmp_path):
+        records = _sample_tracer().records()
+        path = tmp_path / "trace.jsonl"
+        body = "\n\n".join(json.dumps(record.to_dict()) for record in records)
+        path.write_text(body + "\n\n")
+        assert read_jsonl(path) == records
+
+    def test_read_jsonl_reports_the_offending_line(self, tmp_path):
+        records = _sample_tracer().records()
+        path = tmp_path / "trace.jsonl"
+        lines = [json.dumps(record.to_dict()) for record in records]
+        lines.insert(2, "{broken")
+        path.write_text("\n".join(lines) + "\n")
+        with pytest.raises(ValueError) as excinfo:
+            read_jsonl(path)
+        message = str(excinfo.value)
+        assert str(path) in message
+        assert ":3:" in message
+        assert "invalid JSON" in message
+
+
+class TestRenderOrdering:
+    def test_siblings_render_in_start_time_order(self):
+        # Hand-built records with adoption-order scrambled relative to start
+        # times: rendering must order siblings by when they started.
+        def record(name, span_id, parent_id, start):
+            return SpanRecord(
+                name=name,
+                span_id=span_id,
+                trace_id="t-1",
+                parent_id=parent_id,
+                start_epoch=start,
+                wall_seconds=0.1,
+                cpu_seconds=0.0,
+            )
+
+        records = [
+            record("query", "a-1", None, 100.0),
+            record("late", "a-4", "a-1", 103.0),
+            record("early", "a-2", "a-1", 101.0),
+            record("middle", "a-3", "a-1", 102.0),
+        ]
+        lines = render_span_tree(records).splitlines()
+        assert [line.split()[0] for line in lines] == [
+            "query",
+            "early",
+            "middle",
+            "late",
+        ]
+        # Deterministic: a shuffled copy renders identically.
+        assert render_span_tree(list(reversed(records))) == render_span_tree(records)
