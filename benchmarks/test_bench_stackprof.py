@@ -1,0 +1,144 @@
+"""Benchmark: sampling-profiler overhead and the sampled expansion share.
+
+Two claims ride on the wall-clock sampling profiler:
+
+1. **Sampling is cheap (<= 10%).**  At the default interval the profiler
+   wakes ~200 times a second, walks every thread's stack and joins the
+   tracer's active spans; the workload must not slow by more than 10%.
+   The telemetry contract still holds underneath: a run with no profiler
+   and no tracer after a profiled run stays inside the usual 2% budget.
+2. **The sampled profile corroborates cProfile.**  The benchmark records
+   ``core/expand.py``'s share of the *sampled* wall time next to the
+   deterministic cProfile own-time share the telemetry benchmark persists;
+   the regression sentry tracks the sampled share directionally
+   (``*_sampled_share`` -> lower is better) for the planned expansion
+   vectorisation.
+
+The workload is the CPU-bound scatter path: an in-memory sharded engine
+fanning each query across shards, all compute, no I/O stalls.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+
+from repro.experiments.common import build_protein_dataset
+from repro.obs import StackProfiler, Tracer, profile_workload, validate_speedscope
+from repro.sharding import ShardedEngine
+from repro.testing import smoke_mode
+
+#: Queries per timed pass.
+QUERY_COUNT = 8
+#: Timed passes per sample; the sample statistic is their median.
+REPEATS = 5
+#: Profiler overhead budget at the default sampling interval.
+PROFILER_BUDGET = 0.10
+#: Disabled-path budget (same contract as the telemetry benchmark).
+OVERHEAD_BUDGET = 0.02
+#: Below this the medians are timer noise, not signal; skip the asserts.
+MIN_COMPARABLE_SECONDS = 0.05
+SHARDS = 4
+
+
+def _time_workload(engine, queries, evalue, tracer=None) -> float:
+    """Median wall seconds of REPEATS full scatter passes over the workload."""
+    samples = []
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        for query in queries:
+            engine.search(query, evalue=evalue, tracer=tracer)
+        samples.append(time.perf_counter() - start)
+    return statistics.median(samples)
+
+
+def test_bench_stackprof_overhead_and_share(config, bench_record):
+    dataset = build_protein_dataset(config)
+    queries = [query.text for query in dataset.workload][:QUERY_COUNT]
+    evalue = config.effective_evalue(dataset.database_symbols)
+    engine = ShardedEngine.build(
+        dataset.database,
+        dataset.matrix,
+        dataset.gap_model,
+        shard_count=SHARDS,
+    )
+
+    # Warm-up: cold scoring rows and lazy suffix-tree state would otherwise
+    # be charged to whichever sample runs first.
+    for query in queries:
+        engine.search(query, evalue=evalue)
+
+    disabled_before = _time_workload(engine, queries, evalue)
+
+    tracer = Tracer()
+    profiler = StackProfiler(tracer)
+    with profiler:
+        profiled = _time_workload(engine, queries, evalue, tracer=tracer)
+
+    disabled_after = _time_workload(engine, queries, evalue)
+
+    profiled_ratio = profiled / disabled_before if disabled_before else 1.0
+    after_ratio = disabled_after / disabled_before if disabled_before else 1.0
+
+    # The sampled picture next to the deterministic one.
+    sampled_share = profiler.share_of("core/expand")
+    cprofile_share = profile_workload(
+        dataset.engine, queries, evalue=evalue
+    ).share_of("core/expand")
+
+    speedscope = profiler.speedscope("stackprof benchmark")
+    assert validate_speedscope(speedscope) == []
+
+    print()
+    print(
+        f"stackprof overhead: disabled {disabled_before * 1e3:.1f}ms -> "
+        f"profiled x{profiled_ratio:.3f}, disabled-after x{after_ratio:.3f} "
+        f"({profiler.sample_count} samples @ {profiler.interval * 1e3:.0f}ms)"
+    )
+    print(
+        f"core/expand share: sampled {sampled_share:.1%} vs "
+        f"cProfile {cprofile_share:.1%}"
+    )
+    shares = ", ".join(
+        f"{phase}={share:.0%}"
+        for phase, share in sorted(profiler.phase_shares().items())
+    )
+    print(f"phase shares: {shares or 'none'}")
+
+    bench_record(
+        "stackprof",
+        {
+            "queries": len(queries),
+            "repeats": REPEATS,
+            "shards": SHARDS,
+            "interval_seconds": profiler.interval,
+            "samples": profiler.sample_count,
+            "disabled_before_seconds": disabled_before,
+            "profiled_seconds": profiled,
+            "disabled_after_seconds": disabled_after,
+            "profiled_ratio": profiled_ratio,
+            "disabled_after_ratio": after_ratio,
+            # Tracked directionally by the regression sentry (lower is
+            # better): the expansion-vectorisation before-picture.
+            "expand_sampled_share": sampled_share,
+            "expand_cprofile_share": cprofile_share,
+            "phase_shares": profiler.phase_shares(),
+        },
+    )
+
+    # The profiler really watched the profiled passes.
+    assert profiler.sample_count > 0
+    assert profiler.elapsed_seconds > 0
+
+    if smoke_mode() or disabled_before < MIN_COMPARABLE_SECONDS:
+        return
+    assert profiled_ratio <= 1.0 + PROFILER_BUDGET, (
+        f"sampling profiler overhead x{profiled_ratio:.3f} exceeds the "
+        f"x{1.0 + PROFILER_BUDGET:.2f} budget at interval "
+        f"{profiler.interval * 1e3:.0f}ms"
+    )
+    assert after_ratio <= 1.0 + OVERHEAD_BUDGET, (
+        f"disabled-path slowdown after a profiled run: x{after_ratio:.3f} "
+        f"(budget x{1.0 + OVERHEAD_BUDGET:.2f}) -- the profiler is leaking "
+        "into the unprofiled path"
+    )

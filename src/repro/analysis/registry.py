@@ -26,6 +26,7 @@ from repro.analysis.framework import Rule
 from repro.analysis.layering import LayeringRule
 from repro.analysis.lockdiscipline import LockBlockingRule, LockScopeRule
 from repro.analysis.picklesafety import ProcessSubmitRule, SpawnTaskClassRule
+from repro.analysis.signalsafety import SignalSafetyRule
 from repro.analysis.timesource import WallClockRule
 
 
@@ -42,6 +43,7 @@ def all_rules() -> List[Rule]:
         MutableDefaultRule(),
         TracerGuardRule(),
         WallClockRule(),
+        SignalSafetyRule(),
     ]
 
 

@@ -1,0 +1,165 @@
+"""Signal-safety rule: handlers set flags or write pre-opened fds, nothing else.
+
+CPython runs signal handlers between bytecodes on the main thread, so they
+are not the async-signal-safety minefield C handlers are -- but they still
+interrupt *arbitrary* code.  A handler that allocates (formats a string,
+builds a dump, opens a file) can run with the interpreter mid-GC; one that
+takes a lock the interrupted code already holds deadlocks the process; one
+that does heavy work stalls whatever the main thread was doing.  The repo's
+pattern (see :meth:`repro.obs.flight.FlightRecorder.install_signal_handler`)
+is the classic self-pipe: the handler performs exactly one ``os.write`` of
+one byte to a pre-opened pipe fd and a watcher thread does everything else
+outside signal context.
+
+This rule finds every ``signal.signal(SIG, handler)`` registration in
+``src/``, resolves ``handler`` to a function defined in the same module
+(named functions, methods, nested closures, inline lambdas), and flags any
+statement in its body other than flag assignment and ``os.write`` calls:
+
+* any other call (``print``, ``self.dump()``, ``logging``, ``Event.set`` --
+  all allocate or lock);
+* any ``with`` block (context managers exist to take locks and open
+  resources).
+
+``SIG_IGN``/``SIG_DFL`` and handlers the module does not define (restoring
+a saved previous handler) are out of scope.  Genuinely safe exceptions
+carry ``# repro: allow[signal-safety]`` and stay visible in the report.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Set, Union
+
+from repro.analysis.framework import ModuleInfo, Rule, Violation
+
+HandlerNode = Union[ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda]
+
+
+def _call_name(func: ast.expr) -> str:
+    """A readable dotted name for a call target (best effort)."""
+    parts: List[str] = []
+    node: ast.expr = func
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+    else:
+        parts.append("<expr>")
+    return ".".join(reversed(parts))
+
+
+def _is_os_write(func: ast.expr) -> bool:
+    return (
+        isinstance(func, ast.Attribute)
+        and func.attr == "write"
+        and isinstance(func.value, ast.Name)
+        and func.value.id == "os"
+    )
+
+
+class SignalSafetyRule(Rule):
+    """Signal handlers may only set flags or ``os.write`` pre-opened fds."""
+
+    rule_id = "signal-safety"
+    description = (
+        "signal handlers registered via signal.signal() may only set flags "
+        "or os.write() to a pre-opened fd -- no other calls, no with-blocks "
+        "(locks), no allocation-heavy work; use the self-pipe pattern and do "
+        "the real work on a watcher thread"
+    )
+
+    def check(self, module: ModuleInfo) -> Iterator[Violation]:
+        tree = module.tree
+        functions: Dict[str, List[HandlerNode]] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                functions.setdefault(node.name, []).append(node)
+        aliases = self._signal_aliases(tree)
+        checked: Set[int] = set()
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.Call) or not self._is_registration(
+                node.func, aliases
+            ):
+                continue
+            if len(node.args) < 2:
+                continue
+            for handler in self._resolve(node.args[1], functions):
+                if id(handler) in checked:
+                    continue  # registered in more than one place
+                checked.add(id(handler))
+                yield from self._check_handler(module, handler)
+
+    # ------------------------------------------------------------------ #
+    # Registration discovery
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _signal_aliases(tree: ast.Module) -> Set[str]:
+        """Local names bound to ``signal.signal`` via ``from signal import``."""
+        aliases: Set[str] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, ast.ImportFrom) and node.module == "signal":
+                for alias in node.names:
+                    if alias.name == "signal":
+                        aliases.add(alias.asname or alias.name)
+        return aliases
+
+    @staticmethod
+    def _is_registration(func: ast.expr, aliases: Set[str]) -> bool:
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr == "signal"
+            and isinstance(func.value, ast.Name)
+            and func.value.id == "signal"
+        ):
+            return True
+        return isinstance(func, ast.Name) and func.id in aliases
+
+    @staticmethod
+    def _resolve(
+        handler: ast.expr, functions: Dict[str, List[HandlerNode]]
+    ) -> List[HandlerNode]:
+        """Module-local function bodies a handler expression may refer to.
+
+        Unresolvable handlers (``SIG_IGN``/``SIG_DFL``, a restored previous
+        handler held in a variable or attribute) yield nothing -- the rule
+        only judges code the module itself defines.
+        """
+        if isinstance(handler, ast.Lambda):
+            return [handler]
+        if isinstance(handler, ast.Name):
+            return list(functions.get(handler.id, ()))
+        if isinstance(handler, ast.Attribute):
+            return list(functions.get(handler.attr, ()))
+        return []
+
+    # ------------------------------------------------------------------ #
+    # Handler-body checks
+    # ------------------------------------------------------------------ #
+    def _check_handler(
+        self, module: ModuleInfo, handler: HandlerNode
+    ) -> Iterator[Violation]:
+        label = (
+            "<lambda>" if isinstance(handler, ast.Lambda) else handler.name
+        )
+        body = [handler.body] if isinstance(handler, ast.Lambda) else handler.body
+        for statement in body:
+            for node in ast.walk(statement):
+                if isinstance(node, (ast.With, ast.AsyncWith)):
+                    yield self.violation(
+                        module,
+                        node,
+                        f"signal handler {label!r} enters a with-block: "
+                        "context managers take locks/resources the "
+                        "interrupted code may already hold",
+                    )
+                elif isinstance(node, ast.Call) and not _is_os_write(node.func):
+                    yield self.violation(
+                        module,
+                        node,
+                        f"signal handler {label!r} calls "
+                        f"{_call_name(node.func)}(): handlers may only set "
+                        "flags or os.write() to a pre-opened fd -- defer the "
+                        "work to a watcher thread (self-pipe pattern)",
+                    )

@@ -151,6 +151,32 @@ def _build_parser() -> argparse.ArgumentParser:
         "depth and thread count every INTERVAL seconds during the run "
         "(reported as sampler.* gauges; combine with --metrics)",
     )
+    search.add_argument(
+        "--flight",
+        nargs="?",
+        const="flight.jsonl",
+        metavar="FILE",
+        help="attach the flight recorder: ring-buffer recent spans, events "
+        "and metric deltas, and dump a JSON-lines black box to FILE "
+        "(default flight.jsonl) on query timeout/abort/error and on "
+        "SIGUSR1 (replay with `python -m repro.obs.flight FILE`)",
+    )
+    search.add_argument(
+        "--stackprof",
+        metavar="FILE",
+        help="run the sampling wall-clock profiler during the search and "
+        "write a speedscope-format profile to FILE (plus collapsed "
+        "stacks to FILE.collapsed); samples are attributed to span "
+        "phases (expand/scatter/merge/pool_io)",
+    )
+    search.add_argument(
+        "--serve-metrics",
+        type=int,
+        metavar="PORT",
+        help="serve Prometheus /metrics and /healthz on 127.0.0.1:PORT for "
+        "the duration of the run (0 binds an ephemeral port, printed to "
+        "stderr)",
+    )
 
     index = subparsers.add_parser("index", help="manage persistent sharded indexes")
     index_commands = index.add_subparsers(dest="index_command", required=True)
@@ -346,7 +372,15 @@ def _command_search(args: argparse.Namespace) -> int:
     queries = [args.query] if args.query is not None else _read_query_file(args.queries)
 
     tracer = None
-    if args.trace or args.metrics or args.slow_log is not None or args.sample is not None:
+    if (
+        args.trace
+        or args.metrics
+        or args.slow_log is not None
+        or args.sample is not None
+        or args.flight is not None
+        or args.stackprof is not None
+        or args.serve_metrics is not None
+    ):
         from repro.obs import Tracer
 
         tracer = Tracer()
@@ -354,6 +388,8 @@ def _command_search(args: argparse.Namespace) -> int:
         raise SystemExit("--slow-log must be non-negative")
     if args.sample is not None and args.sample <= 0:
         raise SystemExit("--sample must be positive")
+    if args.serve_metrics is not None and args.serve_metrics < 0:
+        raise SystemExit("--serve-metrics must be a port number (0 for ephemeral)")
 
     engine = _build_search_engine(args)
     if tracer is not None:
@@ -368,11 +404,35 @@ def _command_search(args: argparse.Namespace) -> int:
     else:
         sampler = None
 
+    flight = None
+    if args.flight is not None:
+        from repro.obs.flight import FlightRecorder
+
+        # Attach before anything runs, so the rings see the whole search;
+        # SIGUSR1 dumps the black box from a live process on demand.
+        flight = FlightRecorder(tracer, path=args.flight).attach()
+        flight.install_signal_handler()
+
+    profiler = None
+    if args.stackprof is not None:
+        from repro.obs import StackProfiler
+
+        profiler = StackProfiler(tracer)
+
+    server = None
+    if args.serve_metrics is not None:
+        from repro.obs import MetricsServer
+
+        server = MetricsServer(tracer, port=args.serve_metrics).start()
+        print(f"serving metrics on {server.url}/metrics", file=sys.stderr)
+
     # Single and batch mode both run through the concurrent executor; a lone
     # query is simply a batch of one.
     try:
         if sampler is not None:
             sampler.start()
+        if profiler is not None:
+            profiler.start()
         report = engine.search_many(
             queries,
             workers=args.workers,
@@ -382,15 +442,59 @@ def _command_search(args: argparse.Namespace) -> int:
             timeout=args.timeout,
             tracer=tracer,
         )
+    except BaseException:
+        # The black box earns its keep exactly here: dump what the rings
+        # hold before the traceback unwinds the process.
+        if flight is not None:
+            dumped = flight.dump("exception")
+            if dumped is not None:
+                print(f"flight recorder dumped to {dumped}", file=sys.stderr)
+        raise
     finally:
+        if profiler is not None:
+            profiler.stop()
         if sampler is not None:
             sampler.stop()
+        if server is not None:
+            server.stop()
+        if flight is not None:
+            flight.uninstall_signal_handler()
+            flight.detach()
         close = getattr(engine, "close", None)
         if close is not None:
             close()
 
+    if flight is not None:
+        statistics = report.statistics
+        unhealthy = statistics.failed or statistics.timed_out or statistics.aborted
+        if unhealthy:
+            reason = (
+                "timeout"
+                if statistics.timed_out
+                else ("abort" if statistics.aborted else "error")
+            )
+            dumped = flight.dump(reason)
+            if dumped is not None:
+                print(f"flight recorder dumped to {dumped} ({reason})", file=sys.stderr)
+        elif flight.dumps_written == 0:
+            # A healthy run with no signal: leave the black box anyway --
+            # the file named on the command line should always exist.
+            flight.dump("complete")
+
     if tracer is not None:
         _emit_telemetry(args, tracer)
+
+    if profiler is not None:
+        profiler.write_speedscope(args.stackprof)
+        profiler.write_collapsed(args.stackprof + ".collapsed")
+        shares = ", ".join(
+            f"{phase}={share:.0%}" for phase, share in profiler.phase_shares().items()
+        )
+        print(
+            f"wrote {profiler.sample_count} stack samples to {args.stackprof} "
+            f"(+ .collapsed){' -- ' + shares if shares else ''}",
+            file=sys.stderr,
+        )
 
     if len(queries) == 1:
         report.raise_first_error()

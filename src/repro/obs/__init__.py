@@ -33,6 +33,22 @@ On top of the emitters sits the analysis stack:
   repro.obs.regress``): compares committed ``BENCH_*.json`` records against
   the ``BENCH_history.jsonl`` trajectory and fails CI on perf regressions.
 
+And the live layer -- introspection of a *running* process, not just its
+post-hoc trace:
+
+* **Flight recorder** (:mod:`repro.obs.flight` + ``python -m
+  repro.obs.flight DUMP.jsonl``): bounded ring buffers of recent spans,
+  structured events and metric deltas, dumped as a JSON-lines black box on
+  timeout/abort/exception or ``SIGUSR1`` (CLI ``search --flight``).
+* **Sampling profiler** (:mod:`repro.obs.stackprof`): a wall-clock
+  :class:`StackProfiler` sampling ``sys._current_frames()`` and joining
+  samples against open spans for per-phase attribution; collapsed-stack
+  and speedscope exports (CLI ``search --stackprof``).
+* **Prometheus exposition** (:mod:`repro.obs.promexport`):
+  :func:`render_prometheus` over the registry and an opt-in
+  :class:`MetricsServer` serving ``/metrics`` + ``/healthz`` (CLI
+  ``search --serve-metrics``).
+
 Every instrumented call site takes ``tracer=None``; passing a
 :class:`Tracer` (which owns a :class:`MetricsRegistry` as ``tracer.metrics``)
 switches the whole stack on.  ``None`` costs one identity check.
@@ -70,11 +86,13 @@ from repro.obs.profile import (
     profile_search,
     profile_workload,
 )
-# repro.obs.report / repro.obs.regress / repro.obs.validate are deliberately
-# NOT imported here: they are `python -m` entry points, and importing them
-# from the package would shadow runpy's module execution (double-import
-# warning).  Import them directly when embedding.
+from repro.obs.promexport import MetricsServer, parse_exposition, render_prometheus
+# repro.obs.report / repro.obs.regress / repro.obs.validate / repro.obs.flight
+# are deliberately NOT imported here: they are `python -m` entry points, and
+# importing them from the package would shadow runpy's module execution
+# (double-import warning).  Import them directly when embedding.
 from repro.obs.sampler import ResourceSample, ResourceSampler, read_rss_bytes
+from repro.obs.stackprof import StackProfiler, validate_speedscope
 from repro.obs.trace import Span, SpanRecord, TraceContext, Tracer
 
 __all__ = [
@@ -86,6 +104,7 @@ __all__ = [
     "InMemorySink",
     "JsonLinesExporter",
     "MetricsRegistry",
+    "MetricsServer",
     "NameStats",
     "PhaseSlice",
     "ProfileReport",
@@ -93,19 +112,23 @@ __all__ = [
     "ResourceSampler",
     "Span",
     "SpanRecord",
+    "StackProfiler",
     "TraceAnalysis",
     "TraceContext",
     "Tracer",
     "analyze",
     "configure_logging",
     "get_logger",
+    "parse_exposition",
     "phase_breakdown",
     "profile_call",
     "profile_search",
     "profile_workload",
     "read_jsonl",
     "read_rss_bytes",
+    "render_prometheus",
     "render_span_tree",
     "span_phase",
+    "validate_speedscope",
     "validate_trace",
 ]

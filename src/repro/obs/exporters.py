@@ -13,6 +13,7 @@ from __future__ import annotations
 import io
 import json
 import os
+import threading
 from typing import Dict, List, Optional, Sequence, Union
 
 from repro.obs.trace import SpanRecord
@@ -55,6 +56,10 @@ class JsonLinesExporter:
     Opened lazily, appended per ``write`` call, so several exports (e.g. one
     per query of a batch) accumulate into one trace file.  Use as a context
     manager or call :meth:`close`.
+
+    Thread-safe: concurrent ``write`` calls (worker threads exporting spans
+    as they finish) are serialised by a lock, so lines never interleave or
+    tear -- every line of the output file is one complete JSON record.
     """
 
     def __init__(self, target: Union[PathLike, io.TextIOBase]) -> None:
@@ -67,6 +72,7 @@ class JsonLinesExporter:
             self.path = str(target)
             self._handle = None
             self._owns_handle = True
+        self._lock = threading.Lock()
 
     def _ensure_handle(self) -> io.TextIOBase:
         if self._handle is None:
@@ -75,15 +81,18 @@ class JsonLinesExporter:
         return self._handle
 
     def write(self, records: Sequence[SpanRecord]) -> None:
-        handle = self._ensure_handle()
-        for record in records:
-            handle.write(json.dumps(record.to_dict(), sort_keys=True) + "\n")
-        handle.flush()
+        # Serialise outside the lock; hold it only for handle state and I/O.
+        lines = [json.dumps(record.to_dict(), sort_keys=True) + "\n" for record in records]
+        with self._lock:
+            handle = self._ensure_handle()
+            handle.write("".join(lines))
+            handle.flush()
 
     def close(self) -> None:
-        if self._handle is not None and self._owns_handle:
-            self._handle.close()
-            self._handle = None
+        with self._lock:
+            if self._handle is not None and self._owns_handle:
+                self._handle.close()
+                self._handle = None
 
     def __enter__(self) -> "JsonLinesExporter":
         return self

@@ -1,0 +1,293 @@
+"""Prometheus text exposition for the metrics registry, plus a tiny server.
+
+:func:`render_prometheus` renders a
+:class:`~repro.obs.metrics.MetricsRegistry` in the Prometheus text
+exposition format (version 0.0.4): ``# HELP`` / ``# TYPE`` lines, counters,
+gauges (the high-water mark rides along as ``<name>_max``), and histograms
+with cumulative ``_bucket{le="..."}`` series, ``+Inf``, ``_sum`` and
+``_count``.
+
+This repo names per-backend instruments ``base[tag]`` (e.g.
+``exec.task_seconds[threads:4]``); the bracketed suffix is a label in all
+but syntax, so the renderer maps it to a real one
+(``exec_task_seconds{tag="threads:4"}``) and groups all series of one base
+name under a single HELP/TYPE block, as the format requires.
+
+:class:`MetricsServer` is the opt-in live end: a stdlib
+``ThreadingHTTPServer`` on a daemon thread serving ``/metrics`` (rendered
+from the live registry on every scrape) and ``/healthz``.  It is the first
+brick of the ROADMAP service tier and follows the usual telemetry
+contract -- built over ``tracer=None`` it refuses to start and costs
+nothing.
+
+Zero-dependency: the renderer is pure string work and the server is
+``http.server``; nothing here imports outside the stdlib.
+"""
+
+from __future__ import annotations
+
+import re
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+
+if TYPE_CHECKING:  # pragma: no cover - annotation-only
+    from repro.obs.trace import Tracer
+
+#: Content type of the text exposition format.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+#: Label key used for the bracketed ``base[tag]`` suffix of repo metric names.
+TAG_LABEL = "tag"
+
+_INVALID_METRIC_CHARS = re.compile(r"[^a-zA-Z0-9_]")
+_LEADING_DIGIT = re.compile(r"^[0-9]")
+
+
+def split_metric_name(name: str) -> Tuple[str, Dict[str, str]]:
+    """``exec.task_seconds[threads:4]`` -> ``("exec.task_seconds", {"tag": "threads:4"})``."""
+    if name.endswith("]"):
+        start = name.find("[")
+        if 0 < start < len(name) - 1:
+            return name[:start], {TAG_LABEL: name[start + 1 : -1]}
+    return name, {}
+
+
+def sanitize_metric_name(name: str) -> str:
+    """A legal Prometheus metric name (dots and dashes become underscores)."""
+    sanitized = _INVALID_METRIC_CHARS.sub("_", name)
+    if _LEADING_DIGIT.match(sanitized):
+        sanitized = "_" + sanitized
+    return sanitized
+
+
+def _escape_label_value(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _render_labels(labels: Dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{key}="{_escape_label_value(value)}"' for key, value in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
+def _format_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if isinstance(value, int) or float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+class _Series:
+    """All instruments sharing one base name (label variants of one metric)."""
+
+    def __init__(self, base: str, kind: str) -> None:
+        self.base = base
+        self.kind = kind
+        self.instruments: List[Tuple[Dict[str, str], object]] = []
+
+
+def render_prometheus(registry: MetricsRegistry) -> str:
+    """The whole registry in Prometheus text exposition format."""
+    series: Dict[str, _Series] = {}
+    order: List[str] = []
+    for name in registry.names():
+        instrument = registry.get(name)
+        base, labels = split_metric_name(name)
+        if isinstance(instrument, Counter):
+            kind = "counter"
+        elif isinstance(instrument, Gauge):
+            kind = "gauge"
+        elif isinstance(instrument, Histogram):
+            kind = "histogram"
+        else:  # pragma: no cover - registry only creates the three kinds
+            continue
+        entry = series.get(base)
+        if entry is None:
+            entry = series[base] = _Series(base, kind)
+            order.append(base)
+        elif entry.kind != kind:
+            # Same base, conflicting types (legal in the registry since the
+            # full names differ): keep them apart under their full names.
+            base = name
+            labels = {}
+            entry = series[base] = _Series(base, kind)
+            order.append(base)
+        entry.instruments.append((labels, instrument))
+
+    lines: List[str] = []
+    for base in order:
+        entry = series[base]
+        metric = sanitize_metric_name(base)
+        lines.append(f"# HELP {metric} OASIS metric {base}")
+        lines.append(f"# TYPE {metric} {entry.kind}")
+        max_lines: List[str] = []
+        for labels, instrument in entry.instruments:
+            rendered = _render_labels(labels)
+            if isinstance(instrument, Counter):
+                lines.append(f"{metric}{rendered} {_format_value(instrument.value)}")
+            elif isinstance(instrument, Gauge):
+                lines.append(f"{metric}{rendered} {_format_value(instrument.value)}")
+                max_lines.append(
+                    f"{metric}_max{rendered} {_format_value(instrument.max_value)}"
+                )
+            elif isinstance(instrument, Histogram):
+                cumulative = 0
+                for edge, count in instrument.bucket_counts():
+                    cumulative += count
+                    le = "+Inf" if edge is None else _format_value(edge)
+                    bucket_labels = dict(labels)
+                    bucket_labels["le"] = le
+                    lines.append(
+                        f"{metric}_bucket{_render_labels(bucket_labels)} {cumulative}"
+                    )
+                lines.append(f"{metric}_sum{rendered} {_format_value(instrument.sum)}")
+                lines.append(f"{metric}_count{rendered} {instrument.count}")
+        if max_lines:
+            lines.append(f"# HELP {metric}_max high-water mark of {base}")
+            lines.append(f"# TYPE {metric}_max gauge")
+            lines.extend(max_lines)
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+_SAMPLE_LINE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?P<labels>\{[^}]*\})?"
+    r"\s+(?P<value>\S+)"
+    r"(?:\s+\d+)?$"  # optional timestamp
+)
+
+
+def parse_exposition(text: str) -> Dict[str, float]:
+    """Parse exposition text into ``{'name{labels}': value}``.
+
+    A strict-enough parser for tests to assert round trips: comment and
+    blank lines are skipped, every other line must match the sample-line
+    grammar, label sets are normalised to sorted order, and duplicate
+    samples are an error.  Raises ``ValueError`` on malformed input.
+    """
+    samples: Dict[str, float] = {}
+    for number, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        match = _SAMPLE_LINE.match(line)
+        if match is None:
+            raise ValueError(f"line {number}: not a valid exposition sample: {raw!r}")
+        labels = match.group("labels") or ""
+        if labels:
+            pairs = re.findall(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"', labels)
+            labels = "{" + ",".join(f'{key}="{value}"' for key, value in sorted(pairs)) + "}"
+        key = match.group("name") + labels
+        if key in samples:
+            raise ValueError(f"line {number}: duplicate sample {key!r}")
+        value_text = match.group("value")
+        if value_text == "+Inf":
+            value = float("inf")
+        elif value_text == "-Inf":
+            value = float("-inf")
+        else:
+            value = float(value_text)
+        samples[key] = value
+    return samples
+
+
+class MetricsServer:
+    """Serves ``/metrics`` and ``/healthz`` from a live tracer's registry.
+
+    Runs a ``ThreadingHTTPServer`` on a daemon thread; every ``/metrics``
+    scrape renders the registry at that instant, so a scrape during a search
+    sees the counters mid-flight.  ``port=0`` binds an ephemeral port (read
+    it back from :attr:`port` after :meth:`start` -- how the tests run
+    without port collisions).  Inert over ``tracer=None``: :meth:`start` is
+    a no-op and :attr:`port` stays ``None``.
+    """
+
+    def __init__(
+        self,
+        tracer: Optional["Tracer"],
+        port: int = 0,
+        host: str = "127.0.0.1",
+    ) -> None:
+        self.tracer = tracer
+        self.requested_port = int(port)
+        self.host = host
+        self._server: Optional[ThreadingHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+
+    @property
+    def port(self) -> Optional[int]:
+        server = self._server
+        return int(server.server_address[1]) if server is not None else None
+
+    @property
+    def url(self) -> Optional[str]:
+        port = self.port
+        return f"http://{self.host}:{port}" if port is not None else None
+
+    def start(self) -> "MetricsServer":
+        tracer = self.tracer
+        if tracer is None or self._server is not None:
+            return self
+        registry = tracer.metrics
+
+        class Handler(BaseHTTPRequestHandler):
+            def do_GET(self) -> None:  # noqa: N802 - http.server API
+                path = self.path.split("?", 1)[0]
+                if path == "/metrics":
+                    body = render_prometheus(registry).encode("utf-8")
+                    self.send_response(200)
+                    self.send_header("Content-Type", CONTENT_TYPE)
+                elif path == "/healthz":
+                    body = b"ok\n"
+                    self.send_response(200)
+                    self.send_header("Content-Type", "text/plain; charset=utf-8")
+                else:
+                    body = b"not found\n"
+                    self.send_response(404)
+                    self.send_header("Content-Type", "text/plain; charset=utf-8")
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def log_message(self, format: str, *args: object) -> None:
+                pass  # scrapes must not spam the CLI's stderr
+
+        self._server = ThreadingHTTPServer((self.host, self.requested_port), Handler)
+        self._server.daemon_threads = True
+        self._thread = threading.Thread(
+            target=self._server.serve_forever,
+            kwargs={"poll_interval": 0.1},
+            name="repro-metrics-server",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        server = self._server
+        if server is None:
+            return
+        server.shutdown()
+        server.server_close()
+        self._server = None
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout=5.0)
+            self._thread = None
+
+    def __enter__(self) -> "MetricsServer":
+        return self.start()
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    def __repr__(self) -> str:
+        state = f"port={self.port}" if self._server is not None else "stopped"
+        return f"MetricsServer({state})"

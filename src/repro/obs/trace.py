@@ -22,6 +22,18 @@ Two properties matter for this codebase:
   ``tracer=None`` (the default) and guards with one ``is None`` check; no
   object is allocated, no clock is read.  The overhead budget (<= 2% on a
   full search workload) is asserted by ``benchmarks/test_bench_telemetry.py``.
+
+Two live-introspection hooks ride on the tracer (both free when unused):
+
+* **Span sinks** (:meth:`Tracer.add_sink`): callables invoked with every
+  finished record as it lands -- the flight recorder's feed.  The no-sink
+  path costs one truthiness check on an empty tuple.
+* **A cross-thread view of the open-span stacks**
+  (:meth:`Tracer.active_spans`): ``_push``/``_pop`` maintain one shared
+  ``{thread id: [open spans]}`` map (each thread mutates only its own
+  entry; single dict/list ops, so the GIL keeps readers consistent), which
+  is how the sampling profiler attributes a foreign thread's stack sample
+  to the phase of the span it was inside.
 """
 
 from __future__ import annotations
@@ -31,9 +43,10 @@ import os
 import threading
 import time
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List, Optional, Protocol, Sequence
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Protocol, Sequence, Tuple
 
 if TYPE_CHECKING:  # pragma: no cover - annotation-only, avoids a module cycle
+    from repro.obs.flight import FlightRecorder
     from repro.obs.metrics import MetricsRegistry
 
 
@@ -228,7 +241,17 @@ class Tracer:
         self.io_spans = bool(io_spans)
         self.finished: List[SpanRecord] = []
         self._lock = threading.Lock()
-        self._local = threading.local()
+        #: Open-span stack per thread id.  Each thread appends/pops only its
+        #: own entry (single dict/list operations, atomic under the GIL);
+        #: :meth:`active_spans` snapshots the whole map from any thread.
+        self._stacks: Dict[int, List[Span]] = {}
+        #: Finished-span sinks (flight recorder etc.); empty tuple when off,
+        #: so the hot record path pays one truthiness check.
+        self._sinks: Tuple[Callable[[SpanRecord], None], ...] = ()
+        #: The attached :class:`~repro.obs.flight.FlightRecorder`, if any --
+        #: instrumented call sites emit structured events through it with the
+        #: same one-``None``-check discipline as the tracer itself.
+        self.flight: Optional["FlightRecorder"] = None
 
     # ------------------------------------------------------------------ #
     # Span creation
@@ -248,27 +271,55 @@ class Tracer:
 
     @property
     def current_span_id(self) -> Optional[str]:
-        stack = getattr(self._local, "stack", None)
+        stack = self._stacks.get(threading.get_ident())
         return stack[-1].span_id if stack else None
 
     def _push(self, span: Span) -> None:
-        stack = getattr(self._local, "stack", None)
+        ident = threading.get_ident()
+        stack = self._stacks.get(ident)
         if stack is None:
-            stack = self._local.stack = []
+            stack = self._stacks[ident] = []
         stack.append(span)
 
     def _pop(self, span: Span) -> None:
-        stack = getattr(self._local, "stack", None)
+        ident = threading.get_ident()
+        stack = self._stacks.get(ident)
         if stack and stack[-1] is span:
             stack.pop()
         elif stack and span in stack:
             # Out-of-order close (interleaved generators on one thread):
             # remove without disturbing the others.
             stack.remove(span)
+        if not stack and stack is not None:
+            # Drop empty entries so pool threads that stopped tracing do not
+            # accumulate (thread ids are reused by the OS).
+            self._stacks.pop(ident, None)
+
+    def active_spans(self) -> Dict[int, List[Span]]:
+        """Snapshot of every thread's open-span stack (outermost first).
+
+        Taken from any thread: the map and the stacks are mutated with
+        single atomic operations, so a reader sees each stack either before
+        or after a push/pop, never mid-update.  The profiler joins stack
+        samples against this to label them with the active span's phase.
+        """
+        return {ident: list(stack) for ident, stack in list(self._stacks.items())}
+
+    def add_sink(self, sink: Callable[[SpanRecord], None]) -> None:
+        """Register a callable invoked with every finished span record."""
+        self._sinks = self._sinks + (sink,)
+
+    def remove_sink(self, sink: Callable[[SpanRecord], None]) -> None:
+        # Equality, not identity: each access of a bound method (the typical
+        # sink) builds a fresh object, so `is` would never match.
+        self._sinks = tuple(s for s in self._sinks if s != sink)
 
     def _record(self, record: SpanRecord) -> None:
         with self._lock:
             self.finished.append(record)
+        if self._sinks:
+            for sink in self._sinks:
+                sink(record)
 
     # ------------------------------------------------------------------ #
     # Cross-process stitching

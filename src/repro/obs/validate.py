@@ -5,23 +5,57 @@ validate_trace` (schema fields, unique span ids, resolvable parents, a
 root, one trace id, no cycles); 1 otherwise, with one problem per stderr
 line.  This is the schema check the CI smoke leg runs against the trace a
 sharded ``search --trace`` emitted.
+
+Flight-recorder dumps (``search --flight``) are detected by their header
+line and validated with :func:`repro.obs.flight.validate_dump` instead --
+same exit-code contract, but tolerant of the partial span set a bounded
+ring necessarily holds (unresolved parents and a missing root are legal
+there; see :mod:`repro.obs.flight`).
 """
 
 from __future__ import annotations
 
+import json
 import sys
 from typing import List, Optional
 
 from repro.obs.exporters import read_jsonl, render_span_tree, validate_trace
 
 
+def _is_flight_dump(path: str) -> bool:
+    """True when the first non-blank line is a flight header record."""
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    payload = json.loads(line)
+                except json.JSONDecodeError:
+                    return False
+                return isinstance(payload, dict) and payload.get("kind") == "flight"
+    except OSError:
+        return False
+    return False
+
+
 def main(argv: Optional[List[str]] = None) -> int:
+    try:
+        return _main(argv)
+    except BrokenPipeError:  # reader (e.g. `| head`) closed the pipe early
+        return 0
+
+
+def _main(argv: Optional[List[str]] = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     show_tree = "--tree" in argv
     paths = [arg for arg in argv if not arg.startswith("--")]
     if len(paths) != 1:
         print("usage: python -m repro.obs.validate [--tree] TRACE.jsonl", file=sys.stderr)
         return 2
+    if _is_flight_dump(paths[0]):
+        return _main_flight(paths[0], show_tree)
     try:
         records = read_jsonl(paths[0])
     except (OSError, ValueError, KeyError) as error:
@@ -35,6 +69,29 @@ def main(argv: Optional[List[str]] = None) -> int:
     if show_tree:
         print(render_span_tree(records))
     print(f"ok: {len(records)} spans, trace {records[0].trace_id}")
+    return 0
+
+
+def _main_flight(path: str, show_tree: bool) -> int:
+    from repro.obs.flight import _rooted_spans, load_dump, validate_dump
+
+    try:
+        dump = load_dump(path)
+    except (OSError, ValueError, KeyError) as error:
+        print(f"unreadable flight dump {path}: {error}", file=sys.stderr)
+        return 1
+    problems = validate_dump(dump)
+    if problems:
+        for problem in problems:
+            print(problem, file=sys.stderr)
+        return 1
+    if show_tree:
+        print(render_span_tree(_rooted_spans(dump.spans)))
+    print(
+        f"ok: flight dump (reason={dump.header.get('reason')}), "
+        f"{len(dump.spans)} spans, {len(dump.events)} events, "
+        f"{len(dump.metric_deltas)} metric deltas"
+    )
     return 0
 
 

@@ -776,18 +776,40 @@ class ShardedEngine:
         max_results: Optional[int] = None,
         compute_alignments: bool = False,
         tracer=None,
+        sample_interval: Optional[float] = None,
     ) -> Iterator[SearchHit]:
-        """Stream merged hits in globally decreasing canonical order."""
-        return iter(
-            self.execute(
-                query,
-                min_score=min_score,
-                evalue=evalue,
-                max_results=max_results,
-                compute_alignments=compute_alignments,
-                tracer=tracer,
-            )
+        """Stream merged hits in globally decreasing canonical order.
+
+        With a ``tracer`` and a ``sample_interval``, a background
+        :class:`~repro.obs.sampler.ResourceSampler` records RSS / pool /
+        queue-depth gauges for exactly the life of the stream -- started
+        when iteration starts, stopped when the stream is exhausted *or*
+        abandoned (``close()``/GC raises ``GeneratorExit`` into the
+        wrapper), so an early-terminated online search never leaks a
+        sampling thread.  The gauges ride the tracer's ordinary metrics
+        registry, mergeable like every other instrument.
+        """
+        execution = self.execute(
+            query,
+            min_score=min_score,
+            evalue=evalue,
+            max_results=max_results,
+            compute_alignments=compute_alignments,
+            tracer=tracer,
         )
+        if tracer is None or sample_interval is None:
+            return iter(execution)
+        return self._stream_sampled(execution, tracer, sample_interval)
+
+    def _stream_sampled(
+        self, execution: "ShardedQueryExecution", tracer, sample_interval: float
+    ) -> Iterator[SearchHit]:
+        from repro.obs.sampler import ResourceSampler
+
+        sampler = ResourceSampler.for_engine(tracer, self, interval=sample_interval)
+        with sampler:
+            for hit in execution:
+                yield hit
 
     def instrument(self, tracer) -> None:
         """Attach a tracer to every shard's buffer pool (``None`` detaches).
@@ -845,6 +867,16 @@ class ShardedEngine:
             # A closed engine must not run searches over closed shard
             # cursors (or silently resurrect a backend it already shut).
             raise RuntimeError("ShardedEngine is closed")
+        tracer = executions[0].tracer if executions else None
+        if tracer is not None and tracer.flight is not None:
+            flight = tracer.flight
+            for shard_index, execution in enumerate(executions):
+                flight.event(
+                    "shard_dispatched",
+                    shard=shard_index,
+                    query=execution.query[:32],
+                    backend=self.backend_spec,
+                )
         if self._backend.kind == "processes":
             # Always take the remote path, even for one shard, so a process
             # engine exercises exactly one code path (and its parity is

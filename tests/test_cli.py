@@ -653,3 +653,92 @@ class TestSlowLogAndSampler:
         fasta, queries = generated_files
         with pytest.raises(SystemExit):
             main(self._search(fasta, queries, "--sample", "0"))
+
+
+class TestLiveIntrospectionFlags:
+    def _search(self, fasta, queries, *extra):
+        return [
+            "search",
+            "--database",
+            str(fasta),
+            "--queries",
+            str(queries),
+            "--shards",
+            "2",
+            "--min-score",
+            "15",
+            *extra,
+        ]
+
+    def test_stackprof_writes_speedscope_and_collapsed(
+        self, generated_files, tmp_path, capsys
+    ):
+        import json
+
+        from repro.obs import validate_speedscope
+
+        fasta, queries = generated_files
+        profile = tmp_path / "search.speedscope.json"
+        code = main(
+            self._search(fasta, queries, "--stackprof", str(profile))
+        )
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "stack samples" in err
+        document = json.loads(profile.read_text())
+        assert validate_speedscope(document) == []
+        collapsed = tmp_path / "search.speedscope.json.collapsed"
+        assert collapsed.exists()
+
+    def test_serve_metrics_announces_endpoint(self, generated_files, capsys):
+        fasta, queries = generated_files
+        code = main(self._search(fasta, queries, "--serve-metrics", "0"))
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "serving metrics on http://127.0.0.1:" in err
+        assert "/metrics" in err
+
+    def test_negative_port_rejected(self, generated_files):
+        fasta, queries = generated_files
+        with pytest.raises(SystemExit):
+            main(self._search(fasta, queries, "--serve-metrics", "-1"))
+
+    def test_flight_defaults_to_conventional_filename(
+        self, generated_files, tmp_path, monkeypatch, capsys
+    ):
+        from repro.obs.flight import load_dump, validate_dump
+
+        fasta, queries = generated_files
+        monkeypatch.chdir(tmp_path)
+        code = main(self._search(fasta, queries, "--flight"))
+        assert code == 0
+        capsys.readouterr()
+        dump = load_dump(str(tmp_path / "flight.jsonl"))
+        assert validate_dump(dump) == []
+
+    def test_introspection_flags_compose(self, generated_files, tmp_path, capsys):
+        from repro.obs.flight import load_dump, validate_dump
+
+        fasta, queries = generated_files
+        flight = tmp_path / "box.jsonl"
+        profile = tmp_path / "prof.json"
+        code = main(
+            self._search(
+                fasta,
+                queries,
+                "--flight",
+                str(flight),
+                "--stackprof",
+                str(profile),
+                "--serve-metrics",
+                "0",
+                "--metrics",
+            )
+        )
+        assert code == 0
+        err = capsys.readouterr().err
+        assert "serving metrics on" in err
+        assert "stack samples" in err
+        assert "--- metrics ---" in err
+        assert validate_dump(load_dump(str(flight))) == []
+        assert profile.exists()

@@ -270,6 +270,69 @@ class TestExporters:
         foreign.trace_id = "other-trace"
         assert any("trace ids" in p for p in validate_trace(records + [foreign]))
 
+    def test_jsonl_concurrent_writers_never_tear_lines(self, tmp_path):
+        """N threads exporting batches concurrently: every line stays whole.
+
+        The exporter serialises outside its lock and writes each batch as
+        one string under it, so interleaved ``write`` calls must never
+        produce torn or merged JSON lines.
+        """
+        threads_count, spans_per_thread = 8, 50
+        path = tmp_path / "concurrent.jsonl"
+        tracers = []
+        for index in range(threads_count):
+            tracer = Tracer()
+            for span_index in range(spans_per_thread):
+                with tracer.span(
+                    "query", writer=index, seq=span_index, phase="expand"
+                ):
+                    pass
+            tracers.append(tracer)
+
+        barrier = threading.Barrier(threads_count)
+
+        with JsonLinesExporter(path) as exporter:
+
+            def emit(tracer: Tracer) -> None:
+                barrier.wait()
+                # One-record batches maximise interleaving pressure.
+                for record in tracer.records():
+                    exporter.write([record])
+
+            workers = [
+                threading.Thread(target=emit, args=(tracer,)) for tracer in tracers
+            ]
+            for worker in workers:
+                worker.start()
+            for worker in workers:
+                worker.join()
+
+        # Every line parses on its own -- no torn or concatenated writes.
+        lines = path.read_text().splitlines()
+        assert len(lines) == threads_count * spans_per_thread
+        parsed = [json.loads(line) for line in lines]
+        seen = {
+            (record["attributes"]["writer"], record["attributes"]["seq"])
+            for record in parsed
+        }
+        assert len(seen) == threads_count * spans_per_thread
+
+        # The reader and validator accept the file per-trace.
+        records = read_jsonl(path)
+        by_trace = {}
+        for record in records:
+            by_trace.setdefault(record.trace_id, []).append(record)
+        assert len(by_trace) == threads_count
+        for trace_records in by_trace.values():
+            assert validate_trace(trace_records) == []
+
+    def test_jsonl_close_is_thread_safe_and_idempotent(self, tmp_path):
+        path = tmp_path / "closed.jsonl"
+        exporter = JsonLinesExporter(path)
+        exporter.write(_sample_tracer().records())
+        exporter.close()
+        exporter.close()
+
     def test_render_span_tree_indents_children(self):
         rendered = render_span_tree(_sample_tracer().records())
         lines = rendered.splitlines()

@@ -1,0 +1,191 @@
+"""Prometheus exposition: rendering, parsing, and the /metrics endpoint."""
+
+from __future__ import annotations
+
+import json
+import urllib.request
+
+import pytest
+
+from repro.obs import Tracer
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.promexport import (
+    CONTENT_TYPE,
+    MetricsServer,
+    parse_exposition,
+    render_prometheus,
+    sanitize_metric_name,
+    split_metric_name,
+)
+from repro.scoring.data import pam30
+from repro.scoring.gaps import FixedGapModel
+from repro.sequences.alphabet import PROTEIN_ALPHABET
+from repro.sequences.database import SequenceDatabase
+from repro.sharding import ShardedEngine
+
+
+class TestNameHandling:
+    def test_split_plain_name(self):
+        assert split_metric_name("search.queries") == ("search.queries", {})
+
+    def test_split_tagged_name(self):
+        base, labels = split_metric_name("exec.task_seconds[threads:4]")
+        assert base == "exec.task_seconds"
+        assert labels == {"tag": "threads:4"}
+
+    def test_sanitize(self):
+        assert sanitize_metric_name("search.queries") == "search_queries"
+        assert sanitize_metric_name("exec.task-count") == "exec_task_count"
+        assert sanitize_metric_name("9lives") == "_9lives"
+
+
+class TestRendering:
+    def test_counter_and_gauge_blocks(self):
+        registry = MetricsRegistry()
+        registry.counter("search.queries").inc(3)
+        registry.gauge("pool.occupancy").set(17)
+        text = render_prometheus(registry)
+        assert "# HELP search_queries" in text
+        assert "# TYPE search_queries counter" in text
+        assert "search_queries 3" in text
+        assert "# TYPE pool_occupancy gauge" in text
+        assert "pool_occupancy 17" in text
+
+    def test_gauge_max_companion(self):
+        registry = MetricsRegistry()
+        gauge = registry.gauge("queue.depth")
+        gauge.set(5)
+        gauge.set(2)
+        text = render_prometheus(registry)
+        samples = parse_exposition(text)
+        assert samples["queue_depth"] == 2.0
+        assert samples["queue_depth_max"] == 5.0
+        assert "# TYPE queue_depth_max gauge" in text
+
+    def test_tagged_series_share_one_metric_family(self):
+        registry = MetricsRegistry()
+        registry.counter("exec.tasks[threads:2]").inc(4)
+        registry.counter("exec.tasks[serial]").inc(1)
+        text = render_prometheus(registry)
+        assert text.count("# TYPE exec_tasks counter") == 1
+        samples = parse_exposition(text)
+        assert samples['exec_tasks{tag="threads:2"}'] == 4.0
+        assert samples['exec_tasks{tag="serial"}'] == 1.0
+
+    def test_histogram_buckets_are_cumulative(self):
+        registry = MetricsRegistry()
+        histogram = registry.histogram("lat.seconds", boundaries=(0.1, 1.0))
+        for value in (0.05, 0.05, 0.5, 5.0):
+            histogram.observe(value)
+        samples = parse_exposition(render_prometheus(registry))
+        assert samples['lat_seconds_bucket{le="0.1"}'] == 2.0
+        # Integral edges render bare (Prometheus style): 1.0 -> le="1".
+        assert samples['lat_seconds_bucket{le="1"}'] == 3.0
+        assert samples['lat_seconds_bucket{le="+Inf"}'] == 4.0
+        assert samples["lat_seconds_count"] == 4.0
+        assert samples["lat_seconds_sum"] == pytest.approx(5.6)
+
+    def test_label_values_are_escaped(self):
+        registry = MetricsRegistry()
+        registry.counter('odd.one[a"b\\c]').inc()
+        text = render_prometheus(registry)
+        # The rendered line must round-trip through the parser.
+        samples = parse_exposition(text)
+        (key,) = [k for k in samples if k.startswith("odd_one")]
+        assert samples[key] == 1.0
+
+    def test_empty_registry_renders_empty(self):
+        assert render_prometheus(MetricsRegistry()) == ""
+        assert parse_exposition("") == {}
+
+
+class TestParsing:
+    def test_comments_and_blank_lines_are_skipped(self):
+        text = "# HELP x y\n# TYPE x counter\n\nx 1\n"
+        assert parse_exposition(text) == {"x": 1.0}
+
+    def test_label_order_is_normalised(self):
+        text = 'm{b="2",a="1"} 3\n'
+        assert parse_exposition(text) == {'m{a="1",b="2"}': 3.0}
+
+    def test_duplicate_sample_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            parse_exposition("x 1\nx 2\n")
+
+    def test_malformed_line_rejected(self):
+        with pytest.raises(ValueError):
+            parse_exposition("not a metric line at all!\n")
+
+
+class TestAgainstLiveEngine:
+    def test_exposition_agrees_with_registry_after_search(self):
+        database = SequenceDatabase.from_texts(
+            ["MKVLAADTGLAVWKDDGNGYISAAE", "WKDDGNGYISAAEMKVLAADTGLAV"],
+            alphabet=PROTEIN_ALPHABET,
+            name="prom-proteins",
+        )
+        tracer = Tracer()
+        with ShardedEngine.build(
+            database, pam30(), FixedGapModel(-8), shard_count=2
+        ) as engine:
+            report = engine.search_many(
+                ["WKDDGNGYISAAE"], min_score=40, tracer=tracer
+            )
+            assert not report.statistics.failed
+        samples = parse_exposition(render_prometheus(tracer.metrics))
+        snapshot = tracer.metrics.snapshot()
+        queries = snapshot["search.queries"]
+        assert samples["search_queries"] == float(queries["value"])
+        # Histogram totals agree with the registry's own bookkeeping.
+        latency = snapshot["search.seconds"]
+        assert samples["search_seconds_count"] == float(latency["count"])
+        assert samples["search_seconds_sum"] == pytest.approx(
+            float(latency["sum"])
+        )
+
+
+class TestMetricsServer:
+    def _get(self, url: str):
+        with urllib.request.urlopen(url, timeout=5) as response:
+            return response.status, dict(response.headers), response.read()
+
+    def test_serves_metrics_and_healthz(self):
+        tracer = Tracer()
+        tracer.metrics.counter("search.queries").inc(7)
+        with MetricsServer(tracer) as server:
+            assert server.port not in (None, 0)
+            status, headers, body = self._get(f"{server.url}/metrics")
+            assert status == 200
+            assert headers["Content-Type"] == CONTENT_TYPE
+            samples = parse_exposition(body.decode("utf-8"))
+            assert samples["search_queries"] == 7.0
+            status, _headers, body = self._get(f"{server.url}/healthz")
+            assert status == 200 and body == b"ok\n"
+
+    def test_metrics_are_read_live_not_cached(self):
+        tracer = Tracer()
+        counter = tracer.metrics.counter("search.queries")
+        with MetricsServer(tracer) as server:
+            counter.inc(1)
+            _s, _h, body = self._get(f"{server.url}/metrics")
+            assert parse_exposition(body.decode())["search_queries"] == 1.0
+            counter.inc(4)
+            _s, _h, body = self._get(f"{server.url}/metrics")
+            assert parse_exposition(body.decode())["search_queries"] == 5.0
+
+    def test_unknown_path_is_404(self):
+        with MetricsServer(Tracer()) as server:
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                self._get(f"{server.url}/nope")
+            assert excinfo.value.code == 404
+
+    def test_inert_without_tracer(self):
+        server = MetricsServer(None)
+        assert server.start() is server
+        assert server.port is None and server.url is None
+        server.stop()
+
+    def test_stop_is_idempotent(self):
+        server = MetricsServer(Tracer()).start()
+        server.stop()
+        server.stop()

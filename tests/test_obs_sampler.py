@@ -175,3 +175,71 @@ class TestForEngine:
         assert sampler.backends == []
         # Still useful: process state samples fine with no taps.
         assert sampler.sample_once() is not None
+
+
+class TestOnlineStreamSampling:
+    """`search_online(tracer=..., sample_interval=...)` samples the stream."""
+
+    @pytest.fixture
+    def engine(self, small_protein_database, pam30_matrix, gap8):
+        from repro.sharding import ShardedEngine
+
+        with ShardedEngine.build(
+            small_protein_database, pam30_matrix, gap8, shard_count=2
+        ) as built:
+            yield built
+
+    def test_stream_is_sampled_for_its_lifetime(self, engine):
+        tracer = Tracer()
+        hits = list(
+            engine.search_online(
+                "WKDDGNGYISAAE",
+                min_score=40,
+                tracer=tracer,
+                sample_interval=0.001,
+            )
+        )
+        assert hits
+        snapshot = tracer.metrics.snapshot()
+        assert snapshot["sampler.ticks"]["value"] >= 1
+        assert "sampler.rss_bytes" in snapshot
+
+    def test_abandoned_stream_stops_the_sampler(self, engine):
+        import threading
+
+        tracer = Tracer()
+        stream = engine.search_online(
+            "WKDDGNGYISAAE", min_score=40, tracer=tracer, sample_interval=0.001
+        )
+        next(stream)
+        stream.close()
+        # The sampling thread wound down with the generator.
+        assert not [
+            t for t in threading.enumerate() if t.name == "repro-resource-sampler"
+        ]
+
+    def test_streaming_results_identical_with_and_without_sampling(self, engine):
+        tracer = Tracer()
+        plain = list(engine.search_online("WKDDGNGYISAAE", min_score=40))
+        sampled = list(
+            engine.search_online(
+                "WKDDGNGYISAAE",
+                min_score=40,
+                tracer=tracer,
+                sample_interval=0.001,
+            )
+        )
+        assert [(h.sequence_index, h.score) for h in plain] == [
+            (h.sequence_index, h.score) for h in sampled
+        ]
+
+    def test_no_sampler_without_tracer(self, engine):
+        import threading
+
+        stream = engine.search_online(
+            "WKDDGNGYISAAE", min_score=40, sample_interval=0.001
+        )
+        list(stream)
+        assert not [
+            t for t in threading.enumerate() if t.name == "repro-resource-sampler"
+        ]

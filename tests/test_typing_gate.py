@@ -29,18 +29,22 @@ GATE_FILES = (
     "repro/obs/__init__.py",
     "repro/obs/analyze.py",
     "repro/obs/exporters.py",
+    "repro/obs/flight.py",
     "repro/obs/logsetup.py",
     "repro/obs/metrics.py",
     "repro/obs/profile.py",
+    "repro/obs/promexport.py",
     "repro/obs/regress.py",
     "repro/obs/report.py",
     "repro/obs/sampler.py",
+    "repro/obs/stackprof.py",
     "repro/obs/trace.py",
     "repro/obs/validate.py",
     "repro/sharding/remote.py",
     "repro/storage/buffer_pool.py",
     "repro/analysis/framework.py",
     "repro/analysis/lockorder.py",
+    "repro/analysis/signalsafety.py",
 )
 
 _HAS_MYPY = importlib.util.find_spec("mypy") is not None
