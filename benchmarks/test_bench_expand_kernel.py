@@ -1,0 +1,143 @@
+"""Benchmark: expansion-kernel A/B -- scratch-buffer scalar and sibling batch.
+
+The kernel layer (``repro.core.kernels``) exists for exactly one number:
+CPU-bound search time.  This benchmark runs the same workload over the same
+in-memory suffix tree under all three kernels and records the speedups:
+
+* ``reference`` -- the original per-column implementation (per-column
+  ``np.empty_like``, double ``.max()`` reduction, unconditional mask
+  writes); the "current" path the ISSUE's >=1.3x target is measured
+  against.
+* ``scalar`` -- the same algorithm over preallocated scratch (the default).
+* ``batched`` -- sibling-batched first columns on top of the scalar loop.
+
+Parity is asserted *always*, even in smoke mode: byte-identical hits and
+identical ``columns_expanded`` across kernels -- the speedup is only
+meaningful if the kernels did the same work.  The speedup floor is
+asserted only on real (non-smoke) runs on a quiet machine.
+"""
+
+from __future__ import annotations
+
+import statistics
+import time
+
+from repro.core.engine import OasisEngine
+from repro.experiments.common import build_protein_dataset
+from repro.testing import smoke_mode
+
+#: Queries per timed pass (CPU-bound: in-memory tree, serial engine).
+QUERY_COUNT = 12
+#: Timed passes per kernel; the reported statistic is their median.
+REPEATS = 5
+#: The ISSUE's acceptance floor for batched vs the pre-kernel path.
+BATCHED_SPEEDUP_FLOOR = 1.3
+#: Below this the medians are timer noise, not signal; skip the asserts.
+MIN_COMPARABLE_SECONDS = 0.05
+
+KERNELS = ("reference", "scalar", "batched")
+
+
+def _hit_signature(result):
+    return [
+        (hit.sequence_index, hit.sequence_identifier, hit.score, hit.evalue)
+        for hit in result
+    ]
+
+
+def _time_workload(engine, queries, evalue) -> float:
+    samples = []
+    for _ in range(REPEATS):
+        start = time.perf_counter()
+        for query in queries:
+            engine.search(query, evalue=evalue)
+        samples.append(time.perf_counter() - start)
+    return statistics.median(samples)
+
+
+def test_bench_expand_kernel_ab(config, bench_record):
+    dataset = build_protein_dataset(config)
+    queries = [query.text for query in dataset.workload][:QUERY_COUNT]
+    evalue = config.effective_evalue(dataset.database_symbols)
+    base = dataset.engine
+
+    # Three engines over ONE shared tree: the A/B isolates the kernel, not
+    # index construction or cache state.
+    engines = {
+        name: OasisEngine(
+            base.cursor,
+            base.matrix,
+            base.gap_model,
+            converter=base.converter,
+            kernel=name,
+        )
+        for name in KERNELS
+    }
+
+    # Parity first (always, smoke included): byte-identical hits and
+    # identical DP work under every kernel.
+    signatures = {}
+    columns = {}
+    for name, engine in engines.items():
+        signatures[name] = []
+        columns[name] = 0
+        for query in queries:
+            result = engine.search(query, evalue=evalue)
+            signatures[name].append(_hit_signature(result))
+            columns[name] += result.statistics.columns_expanded
+            assert result.statistics.kernel == name
+    for name in ("scalar", "batched"):
+        assert signatures[name] == signatures["reference"], (
+            f"kernel {name} diverged from the reference hits"
+        )
+        assert columns[name] == columns["reference"], (
+            f"kernel {name} expanded {columns[name]} columns vs the "
+            f"reference's {columns['reference']}"
+        )
+
+    # The parity pass doubles as warm-up; now the timed passes.
+    seconds = {
+        name: _time_workload(engine, queries, evalue)
+        for name, engine in engines.items()
+    }
+    speedups = {
+        name: (seconds["reference"] / seconds[name] if seconds[name] else 1.0)
+        for name in ("scalar", "batched")
+    }
+
+    print()
+    print(f"{'kernel':12s} {'median_s':>10s} {'vs reference':>14s}")
+    for name in KERNELS:
+        ratio = seconds["reference"] / seconds[name] if seconds[name] else 1.0
+        print(f"{name:12s} {seconds[name]:10.3f} {ratio:13.2f}x")
+    print(
+        f"({QUERY_COUNT} queries x {REPEATS} passes, "
+        f"{columns['reference']} DP columns per pass)"
+    )
+
+    bench_record(
+        "expand_kernel",
+        {
+            "queries": len(queries),
+            "repeats": REPEATS,
+            "columns_expanded": columns["reference"],
+            "hits_identical": True,
+            "reference_seconds": seconds["reference"],
+            "scalar_seconds": seconds["scalar"],
+            "batched_seconds": seconds["batched"],
+            # Tracked by the regression sentry (higher is better).
+            "scalar_speedup": speedups["scalar"],
+            "batched_speedup": speedups["batched"],
+        },
+    )
+
+    if smoke_mode() or seconds["reference"] < MIN_COMPARABLE_SECONDS:
+        return
+    assert speedups["batched"] >= BATCHED_SPEEDUP_FLOOR, (
+        f"batched kernel speedup x{speedups['batched']:.2f} is below the "
+        f"x{BATCHED_SPEEDUP_FLOOR} floor vs the reference path"
+    )
+    assert speedups["scalar"] > 1.0, (
+        f"scratch-buffer scalar kernel (x{speedups['scalar']:.2f}) should "
+        "never be slower than the allocating reference path"
+    )

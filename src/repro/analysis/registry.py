@@ -23,6 +23,7 @@ from repro.analysis.determinism import (
     UnorderedIterationRule,
 )
 from repro.analysis.framework import Rule
+from repro.analysis.kernelpurity import KernelPurityRule
 from repro.analysis.layering import LayeringRule
 from repro.analysis.lockdiscipline import LockBlockingRule, LockScopeRule
 from repro.analysis.picklesafety import ProcessSubmitRule, SpawnTaskClassRule
@@ -44,6 +45,7 @@ def all_rules() -> List[Rule]:
         TracerGuardRule(),
         WallClockRule(),
         SignalSafetyRule(),
+        KernelPurityRule(),
     ]
 
 

@@ -55,12 +55,13 @@ class OasisEngine:
         matrix: SubstitutionMatrix,
         gap_model: GapModel = FixedGapModel(-1),
         converter: Optional[SelectivityConverter] = None,
+        kernel=None,
     ):
         self.cursor = cursor
         self.matrix = matrix
         self.gap_model = gap_model
         self.converter = converter or SelectivityConverter(matrix, cursor.database)
-        self._search = OasisSearch(cursor, matrix, gap_model)
+        self._search = OasisSearch(cursor, matrix, gap_model, kernel=kernel)
 
     # ------------------------------------------------------------------ #
     # Construction helpers
@@ -73,6 +74,7 @@ class OasisEngine:
         gap_model: GapModel = FixedGapModel(-1),
         partitioned: bool = False,
         max_partition_size: int = 50_000,
+        kernel=None,
     ) -> "OasisEngine":
         """Build an in-memory suffix-tree index and wrap it in an engine.
 
@@ -92,7 +94,7 @@ class OasisEngine:
             ).build(database)
         else:
             tree = GeneralizedSuffixTree.build(database)
-        return cls(tree, matrix, gap_model)
+        return cls(tree, matrix, gap_model, kernel=kernel)
 
     @classmethod
     def build_on_disk(
@@ -104,6 +106,7 @@ class OasisEngine:
         block_size: int = 2048,
         buffer_pool_bytes: int = DEFAULT_BUFFER_POOL_BYTES,
         simulated_miss_latency: float = 0.0,
+        kernel=None,
     ) -> "OasisEngine":
         """Build the index, write the Section-3.4 disk image, search through it.
 
@@ -125,7 +128,7 @@ class OasisEngine:
             buffer_pool_bytes=buffer_pool_bytes,
             simulated_miss_latency=simulated_miss_latency,
         )
-        return cls(disk, matrix, gap_model)
+        return cls(disk, matrix, gap_model, kernel=kernel)
 
     @staticmethod
     def build_sharded(
@@ -173,6 +176,11 @@ class OasisEngine:
     @property
     def database(self) -> SequenceDatabase:
         return self.cursor.database
+
+    @property
+    def kernel(self) -> str:
+        """The expansion kernel name this engine's searches run under."""
+        return self._search.kernel.name
 
     @property
     def statistics(self) -> OasisSearchStatistics:

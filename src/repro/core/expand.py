@@ -27,6 +27,20 @@ straight NumPy expressions and the vertical (insertion) dependency
 ``column[i] = max(candidate[i], column[i-1] + gap)`` is resolved with a
 running-maximum transform, so the per-cell work stays out of the Python
 interpreter.
+
+Two implementations live side by side:
+
+* :func:`expand_arc_reference` -- the original, allocation-per-column form,
+  kept verbatim as the parity oracle every kernel is gated against;
+* :func:`expand_arc` -- the public entry point, which now runs the
+  scratch-buffer scalar kernel from :mod:`repro.core.kernels`: the same
+  algorithm over preallocated per-query scratch arrays (no per-column
+  allocation, fused prune mask, no reductions or ``PRUNED`` writes whose
+  result is about to be discarded).
+
+The :class:`ExpansionContext` owns the scratch arrays because it already owns
+everything else that is per-query: kernels themselves are forbidden from
+allocating inside their column loops (the ``kernel-purity`` analysis rule).
 """
 
 from __future__ import annotations
@@ -90,6 +104,44 @@ class ExpansionContext:
         self.pruned_non_positive = 0
         self.pruned_dominated = 0
         self.pruned_threshold = 0
+        # ------------------------------------------------------------------
+        # Kernel scratch.  The expansion kernels (repro.core.kernels) never
+        # allocate inside their column loops -- the kernel-purity analysis
+        # rule enforces it -- so every transient array they need is
+        # preallocated here, once per query.
+        length = self.query_length + 1
+        symbol_count = self.profile.shape[0]
+        #: Ping-pong column buffers for the scalar kernel: one is read while
+        #: the other is written, so a parent's column is never mutated.
+        self.scratch_col_a = np.empty(length, dtype=np.int64)
+        self.scratch_col_b = np.empty(length, dtype=np.int64)
+        #: Horizontal (deletion) term of the candidate column.
+        self.scratch_row = np.empty(length, dtype=np.int64)
+        #: Optimistic scores (``column + heuristic``).
+        self.scratch_bound = np.empty(length, dtype=np.int64)
+        #: Boolean planes for the pruning-rule masks and their combinations.
+        self.scratch_flags = np.empty((5, length), dtype=bool)
+        #: Fused prune limit for the all-rules fast path:
+        #: ``max(0, cutoff - heuristic)`` elementwise, valid while the cutoff
+        #: (``max(path max_score, min_score - 1)``) equals ``fast_cutoff``.
+        #: One comparison against it is exactly the reference's three-way
+        #: non-positive|dominated|hopeless mask, and the cutoff only changes
+        #: when a path's ``max_score`` rises, so the recompute amortises away.
+        self.scratch_limit = np.empty(length, dtype=np.int64)
+        self.fast_cutoff: Optional[int] = None
+        #: Sibling-batch scratch: a node's children all have distinct first
+        #: arc symbols, so the fan-out is bounded by the symbol count and the
+        #: batched kernel can run every child's first DP column as one 2-D
+        #: update over these buffers.
+        self.batch_symbols = np.empty(symbol_count, dtype=np.intp)
+        self.batch_profile = np.empty((symbol_count, self.query_length), dtype=np.int64)
+        self.batch_columns = np.empty((symbol_count, length), dtype=np.int64)
+        self.batch_bound = np.empty((symbol_count, length), dtype=np.int64)
+        self.batch_flags = np.empty((5, symbol_count, length), dtype=bool)
+        self.batch_best = np.empty(symbol_count, dtype=np.int64)
+        self.batch_max = np.empty(symbol_count, dtype=np.int64)
+        self.batch_limit = np.empty(symbol_count, dtype=np.int64)
+        self.batch_done = np.empty(symbol_count, dtype=bool)
 
     # ------------------------------------------------------------------ #
     def make_root_column(self) -> np.ndarray:
@@ -100,14 +152,21 @@ class ExpansionContext:
         return column
 
 
-def expand_arc(
+def expand_arc_reference(
     parent: SearchNode,
     tree_node,
     arc_symbols: np.ndarray,
     is_leaf: bool,
     context: ExpansionContext,
 ) -> SearchNode:
-    """Algorithm 3: expand one suffix-tree arc below ``parent``.
+    """Algorithm 3, reference form: expand one suffix-tree arc below ``parent``.
+
+    This is the original per-column implementation, kept verbatim as the
+    parity oracle for the kernels in :mod:`repro.core.kernels` (run it via
+    ``OASIS_KERNEL=reference`` or ``kernel="reference"``).  It allocates one
+    candidate array per column and scans each column twice
+    (``new_column.max()`` then ``optimistic.max()``); the scalar kernel does
+    neither, and is gated byte-identical against this function.
 
     Parameters
     ----------
@@ -245,3 +304,30 @@ def expand_arc(
         state=NodeState.VIABLE,
         depth=depth,
     )
+
+
+_SCALAR_KERNEL = None
+
+
+def expand_arc(
+    parent: SearchNode,
+    tree_node,
+    arc_symbols: np.ndarray,
+    is_leaf: bool,
+    context: ExpansionContext,
+) -> SearchNode:
+    """Algorithm 3: expand one suffix-tree arc below ``parent``.
+
+    The module-level entry point now runs the scratch-buffer scalar kernel
+    (see :mod:`repro.core.kernels`): same results as
+    :func:`expand_arc_reference` -- the kernels are parity-gated against it
+    cell for cell -- with no per-column allocation and no reductions whose
+    result is about to be discarded.  The import is deferred and cached
+    because :mod:`repro.core.kernels` imports this module.
+    """
+    global _SCALAR_KERNEL
+    if _SCALAR_KERNEL is None:
+        from repro.core.kernels import ScalarKernel
+
+        _SCALAR_KERNEL = ScalarKernel()
+    return _SCALAR_KERNEL.expand_arc(parent, tree_node, arc_symbols, is_leaf, context)

@@ -26,10 +26,11 @@ import heapq
 import threading
 import time
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Set
+from typing import Dict, Iterator, List, Optional, Set, Union
 
-from repro.core.expand import ExpansionContext, expand_arc
+from repro.core.expand import ExpansionContext
 from repro.core.heuristic import compute_heuristic_vector
+from repro.core.kernels import ExpansionKernel, get_kernel
 from repro.core.results import (
     Alignment,
     OnlineResultLog,
@@ -70,8 +71,12 @@ class OasisSearchStatistics:
     buffer_hits: int = 0
     buffer_misses: int = 0
     buffer_evictions: int = 0
+    #: Which expansion kernel ran the DP (``scalar``/``batched``/``reference``)
+    #: -- every kernel is parity-gated, so this never changes the hits, only
+    #: how the work counters were spent.
+    kernel: str = "scalar"
 
-    def as_dict(self) -> Dict[str, float]:
+    def as_dict(self) -> Dict[str, object]:
         return {
             "columns_expanded": self.columns_expanded,
             "nodes_expanded": self.nodes_expanded,
@@ -86,6 +91,7 @@ class OasisSearchStatistics:
             "buffer_hits": self.buffer_hits,
             "buffer_misses": self.buffer_misses,
             "buffer_evictions": self.buffer_evictions,
+            "kernel": self.kernel,
         }
 
 
@@ -158,7 +164,7 @@ class QueryExecution:
             int(database_size) if database_size is not None else database.total_symbols
         )
         self.time_budget = time_budget
-        self.statistics = OasisSearchStatistics()
+        self.statistics = OasisSearchStatistics(kernel=search.kernel.name)
         self.timed_out = False
         self.aborted = False
 
@@ -266,6 +272,7 @@ class QueryExecution:
         cursor = self.search.cursor
         database = cursor.database
         context = self.context
+        kernel = self.search.kernel
         statistics = self.statistics
         min_score = self.min_score
         query_codes = self.query_sequence.codes
@@ -389,17 +396,19 @@ class QueryExecution:
                         break
                     continue
 
-                # VIABLE node: expand all children of the corresponding tree node.
+                # VIABLE node: hand the whole sibling set to the expansion
+                # kernel at once (a batching kernel vectorises across it; the
+                # scalar kernels consume the generator child by child, which
+                # preserves the interleaved cursor access pattern).  Kernels
+                # return one child node per sibling, in child order -- the
+                # enqueue counter, and with it the heap tie-break, depends
+                # on that.
                 statistics.nodes_expanded += 1
-                for child in cursor.children(node.tree_node):
-                    arc = cursor.arc_symbols(child)
-                    child_node = expand_arc(
-                        parent=node,
-                        tree_node=child,
-                        arc_symbols=arc,
-                        is_leaf=cursor.is_leaf(child),
-                        context=context,
-                    )
+                siblings = (
+                    (child, cursor.arc_symbols(child), cursor.is_leaf(child))
+                    for child in cursor.children(node.tree_node)
+                )
+                for child_node in kernel.expand_children(node, siblings, context):
                     if child_node.is_unviable:
                         statistics.nodes_pruned += 1
                         continue
@@ -549,6 +558,12 @@ class OasisSearch:
         Substitution matrix.
     gap_model:
         Gap model; the search implements the paper's fixed (linear) gap model.
+    kernel:
+        Expansion-kernel selection: a registered name (``scalar`` /
+        ``batched`` / ``reference``), an :class:`ExpansionKernel` instance,
+        or ``None`` to fall back to the ``OASIS_KERNEL`` environment
+        variable and then the default.  Kernels are parity-gated -- the
+        choice changes speed, never results.
     """
 
     def __init__(
@@ -560,6 +575,7 @@ class OasisSearch:
         prune_dominated: bool = True,
         prune_threshold: bool = True,
         track_pruning: bool = False,
+        kernel: Union[str, ExpansionKernel, None] = None,
     ):
         gap_model.validate()
         if gap_model.is_affine:
@@ -576,6 +592,7 @@ class OasisSearch:
         self.prune_dominated = prune_dominated
         self.prune_threshold = prune_threshold
         self.track_pruning = track_pruning
+        self.kernel: ExpansionKernel = get_kernel(kernel)
         #: Statistics of the most recently *created* execution.  Kept for
         #: backward compatibility with serial callers; concurrent callers
         #: should read ``execution.statistics`` / ``result.statistics``.

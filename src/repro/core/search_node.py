@@ -70,6 +70,28 @@ class SearchNode:
         )
 
 
+def make_terminal_node(tree_node: Any, max_score: int, min_score: int, depth: int) -> SearchNode:
+    """A finished node: no further expansion below it can improve the path.
+
+    Both the early-termination check (``f <= max_score``) and the leaf case
+    of Algorithm 3 end here: the strongest alignment along the path is
+    ``max_score``, so ``f`` and ``b`` collapse to it, the column is
+    discarded, and the node is ACCEPTED when the path reached the threshold
+    (its sequences are reported when it surfaces from the queue) and
+    UNVIABLE otherwise.  Shared by every expansion kernel.
+    """
+    state = NodeState.ACCEPTED if max_score >= min_score else NodeState.UNVIABLE
+    return SearchNode(
+        tree_node=tree_node,
+        column=None,
+        max_score=max_score,
+        f=max_score,
+        b=max_score,
+        state=state,
+        depth=depth,
+    )
+
+
 def make_queue_entry(node: SearchNode, counter: int) -> tuple:
     """Build a heap entry for ``heapq`` (a min-heap, hence the negations).
 

@@ -113,6 +113,8 @@ class ShardedQueryExecution:
     def statistics(self) -> OasisSearchStatistics:
         """Work counters summed over all shards (queue peak is the max)."""
         merged = OasisSearchStatistics()
+        if self.executions:
+            merged.kernel = self.executions[0].statistics.kernel
         for execution in self.executions:
             shard = execution.statistics
             merged.columns_expanded += shard.columns_expanded
@@ -497,6 +499,7 @@ class ShardedEngine:
         by: str = "residues",
         workers: Optional[int] = None,
         backend: Union[str, BackendSpec, ExecutionBackend, None] = None,
+        kernel=None,
     ) -> "ShardedEngine":
         """Split the database and build one in-memory index per shard.
 
@@ -523,6 +526,7 @@ class ShardedEngine:
                 matrix,
                 gap_model,
                 converter=converter,
+                kernel=kernel,
             )
             for sub_database in plan.sub_databases(database)
         ]
@@ -585,6 +589,7 @@ class ShardedEngine:
         sleep_on_miss: bool = False,
         workers: Optional[int] = None,
         backend: Union[str, BackendSpec, ExecutionBackend, None] = None,
+        kernel=None,
     ) -> "ShardedEngine":
         """Open a persistent sharded index from its catalog.
 
@@ -667,7 +672,11 @@ class ShardedEngine:
                     simulated_miss_latency=simulated_miss_latency,
                     sleep_on_miss=sleep_on_miss,
                 )
-                shards.append(OasisEngine(cursor, matrix, gap_model, converter=converter))
+                shards.append(
+                    OasisEngine(
+                        cursor, matrix, gap_model, converter=converter, kernel=kernel
+                    )
+                )
             engine = cls(
                 shards,
                 database,
@@ -950,6 +959,7 @@ class ShardedEngine:
                     self.catalog.database_digest if self.catalog is not None else ""
                 ),
                 trace=trace_context,
+                kernel=self.shards[shard_index].kernel,
             )
             for shard_index in range(len(executions))
         ]

@@ -71,6 +71,10 @@ class ShardSearchTask:
     #: payload for the parent to adopt/merge -- one coherent span tree per
     #: query regardless of which processes produced its pieces.
     trace: Optional[TraceContext] = None
+    #: Expansion-kernel name the parent engine runs under; the worker's
+    #: cached :class:`OasisSearch` uses the same one (parity-gated, so this
+    #: affects speed and statistics attribution only, never the hits).
+    kernel: Optional[str] = None
 
 
 @dataclass(frozen=True)
@@ -143,6 +147,7 @@ def _open_shard_search(task: ShardSearchTask) -> "OasisSearch":
         task.buffer_pool_bytes,
         task.simulated_miss_latency,
         task.sleep_on_miss,
+        task.kernel,
     )
     from repro.sharding.catalog import CatalogMismatchError
 
@@ -195,7 +200,7 @@ def _open_shard_search(task: ShardSearchTask) -> "OasisSearch":
     # A bare OasisSearch, no SelectivityConverter: the threshold arrives
     # pre-resolved and E-values are the parent's job (they need the global
     # database size).
-    search = OasisSearch(cursor, matrix, gap_model)
+    search = OasisSearch(cursor, matrix, gap_model, kernel=task.kernel)
     _SHARD_CACHE[key] = search
     return search
 

@@ -777,3 +777,101 @@ class TestSignalSafetyRule:
 
     def test_catalog_lists_the_rule(self):
         assert "signal-safety" in rule_catalog()
+
+
+class TestKernelPurityRule:
+    def test_allocation_in_kernel_loop_is_flagged(self, tmp_path):
+        report = violations_for(
+            tmp_path,
+            "core/kernels.py",
+            """
+            import numpy as np
+
+            def expand(arcs, context):
+                for symbol in arcs:
+                    candidate = np.empty_like(context.column)
+                    candidate[0] = symbol
+            """,
+        )
+        assert rule_ids(report) == ["kernel-purity"]
+
+    def test_copy_method_in_kernel_loop_is_flagged(self, tmp_path):
+        report = violations_for(
+            tmp_path,
+            "core/kernels.py",
+            """
+            def expand(arcs, column):
+                results = []
+                while arcs:
+                    results.append(column.copy())
+                return results
+            """,
+        )
+        assert rule_ids(report) == ["kernel-purity"]
+
+    def test_telemetry_in_kernel_loop_is_flagged(self, tmp_path):
+        report = violations_for(
+            tmp_path,
+            "core/kernels.py",
+            """
+            def expand(arcs, context):
+                for symbol in arcs:
+                    if context.tracer is not None:
+                        pass
+            """,
+        )
+        assert rule_ids(report) == ["kernel-purity"]
+
+    def test_scratch_buffer_loop_passes(self, tmp_path):
+        report = violations_for(
+            tmp_path,
+            "core/kernels.py",
+            """
+            import numpy as np
+
+            def expand(arcs, read, context):
+                write = context.scratch_col_a
+                for symbol in arcs:
+                    np.add(read, context.profile[symbol], out=write)
+                    np.maximum.accumulate(write, out=write)
+                    read = write
+                return read.copy()
+            """,
+        )
+        assert report.ok
+
+    def test_allocation_outside_loop_passes(self, tmp_path):
+        report = violations_for(
+            tmp_path,
+            "core/kernels.py",
+            """
+            import numpy as np
+
+            def seed(length):
+                column = np.zeros(length)
+                return column
+            """,
+        )
+        assert report.ok
+
+    def test_rule_is_scoped_to_the_kernels_module(self, tmp_path):
+        report = violations_for(
+            tmp_path,
+            "core/expand.py",
+            """
+            import numpy as np
+
+            def reference(arcs, column):
+                for symbol in arcs:
+                    candidate = np.empty_like(column)
+                    candidate[0] = symbol
+            """,
+        )
+        assert report.ok
+
+    def test_real_kernels_module_is_clean(self):
+        report = analyze_paths([os.path.join(SRC_ROOT, "repro", "core", "kernels.py")])
+        assert report.ok, report.violations
+
+    def test_catalog_lists_the_rule(self):
+        assert "kernel-purity" in rule_catalog()

@@ -1,0 +1,290 @@
+"""Kernel parity: every expansion kernel is an exact drop-in for the reference.
+
+The kernel layer's whole contract is "speed only": the scratch-buffer
+scalar kernel and the sibling-batched kernel must produce byte-identical
+hits, identical node states, and identical work/pruning counters versus
+the unmodified reference implementation -- across randomized databases and
+workloads (``repro.datagen``), every pruning-rule ablation, and the
+mem/disk/sharded engine configurations.  These are property tests over
+seeds, not worked examples: a kernel that diverges on *any* searched node
+fails here.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.engine import OasisEngine
+from repro.core.expand import ExpansionContext
+from repro.core.kernels import (
+    BatchedKernel,
+    ExpansionKernel,
+    ReferenceKernel,
+    ScalarKernel,
+    available_kernels,
+    get_kernel,
+)
+from repro.core.oasis import OasisSearch
+from repro.core.search_node import NodeState, SearchNode
+from repro.datagen import MotifWorkloadGenerator, SwissProtLikeGenerator
+from repro.scoring.data import pam30
+from repro.scoring.gaps import FixedGapModel
+from repro.sharding import ShardedEngine
+from repro.suffixtree.generalized import GeneralizedSuffixTree
+
+KERNELS = ["scalar", "batched"]
+SEEDS = [3, 11, 29]
+
+
+def small_dataset(seed):
+    """A randomized database + workload pair, deterministic per seed."""
+    generator = SwissProtLikeGenerator(
+        seed=seed,
+        family_count=4,
+        members_per_family=(2, 4),
+        ancestor_length=(40, 90),
+        singleton_count=6,
+        singleton_length=(10, 60),
+    )
+    database = generator.generate()
+    workload = MotifWorkloadGenerator(
+        generator, seed=seed + 1, query_count=6, length_range=(6, 20)
+    ).generate()
+    return database, [query.text for query in workload]
+
+
+def run_searches(database, queries, kernel, min_score=35, **switches):
+    """All hits + merged statistics for one kernel over a shared tree."""
+    tree = GeneralizedSuffixTree.build(database)
+    search = OasisSearch(
+        tree, pam30(), FixedGapModel(-8), kernel=kernel, **switches
+    )
+    signatures = []
+    counters = []
+    for query in queries:
+        result = search.search(query, min_score=min_score)
+        signatures.append(
+            [(hit.sequence_index, hit.sequence_identifier, hit.score) for hit in result]
+        )
+        statistics = result.statistics
+        counters.append(
+            {
+                "columns_expanded": statistics.columns_expanded,
+                "nodes_expanded": statistics.nodes_expanded,
+                "nodes_enqueued": statistics.nodes_enqueued,
+                "nodes_accepted": statistics.nodes_accepted,
+                "nodes_pruned": statistics.nodes_pruned,
+                "max_queue_size": statistics.max_queue_size,
+                "pruned_non_positive": statistics.pruned_non_positive,
+                "pruned_dominated": statistics.pruned_dominated,
+                "pruned_threshold": statistics.pruned_threshold,
+            }
+        )
+    return signatures, counters
+
+
+class TestFuzzedSearchParity:
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_hits_and_tracked_counters_match_reference(self, seed, kernel):
+        database, queries = small_dataset(seed)
+        expected = run_searches(database, queries, "reference", track_pruning=True)
+        actual = run_searches(database, queries, kernel, track_pruning=True)
+        assert actual == expected
+
+    @pytest.mark.parametrize(
+        "switches",
+        [
+            {"prune_non_positive": False},
+            {"prune_dominated": False},
+            {"prune_threshold": False},
+            {"prune_dominated": False, "prune_threshold": False},
+            {
+                "prune_non_positive": False,
+                "prune_dominated": False,
+                "prune_threshold": False,
+            },
+        ],
+    )
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_rule_ablations_match_reference(self, kernel, switches):
+        database, queries = small_dataset(7)
+        expected = run_searches(database, queries, "reference", **switches)
+        actual = run_searches(database, queries, kernel, **switches)
+        assert actual == expected
+
+
+def node_signature(node: SearchNode):
+    return (
+        node.state,
+        node.f,
+        node.b,
+        node.max_score,
+        node.depth,
+        None if node.column is None else node.column.tolist(),
+    )
+
+
+class TestNodeLevelParity:
+    """BFS over the tree comparing every expanded node, kernel vs reference.
+
+    Stronger than hit parity: the search only ever *visits* nodes the
+    frontier reaches, while this walks the expansion of every VIABLE node
+    encountered breadth-first, so a divergence in any field of any child --
+    including UNVIABLE ones the driver would immediately drop -- fails.
+    """
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    @pytest.mark.parametrize("kernel", KERNELS)
+    @pytest.mark.parametrize("track", [False, True])
+    def test_expand_children_matches_reference(self, seed, kernel, track):
+        database, queries = small_dataset(seed)
+        cursor = GeneralizedSuffixTree.build(database)
+        matrix = pam30()
+        gap_model = FixedGapModel(-8)
+        query = queries[0]
+        reference_search = OasisSearch(
+            cursor, matrix, gap_model, kernel="reference", track_pruning=track
+        )
+        subject_search = OasisSearch(
+            cursor, matrix, gap_model, kernel=kernel, track_pruning=track
+        )
+        reference_exec = reference_search.execute(query, min_score=30)
+        subject_exec = subject_search.execute(query, min_score=30)
+        reference_kernel = reference_search.kernel
+        subject_kernel = subject_search.kernel
+
+        root = SearchNode(
+            tree_node=cursor.root,
+            column=reference_exec.context.make_root_column(),
+            max_score=0,
+            f=int(reference_exec.heuristic.max()),
+            b=0,
+            state=NodeState.VIABLE,
+            depth=0,
+        )
+        frontier = [root]
+        expanded = 0
+        while frontier and expanded < 200:
+            node = frontier.pop(0)
+            siblings = [
+                (child, cursor.arc_symbols(child), cursor.is_leaf(child))
+                for child in cursor.children(node.tree_node)
+            ]
+            expected = reference_kernel.expand_children(
+                node, iter(siblings), reference_exec.context
+            )
+            actual = subject_kernel.expand_children(
+                node, iter(siblings), subject_exec.context
+            )
+            assert [node_signature(child) for child in actual] == [
+                node_signature(child) for child in expected
+            ]
+            expanded += 1
+            frontier.extend(child for child in expected if child.is_viable)
+        assert expanded > 1  # the walk actually exercised expansions
+        # The per-column work and tracked pruning tallies agree exactly.
+        assert (
+            subject_exec.context.columns_expanded
+            == reference_exec.context.columns_expanded
+        )
+        for field in ("pruned_non_positive", "pruned_dominated", "pruned_threshold"):
+            assert getattr(subject_exec.context, field) == getattr(
+                reference_exec.context, field
+            )
+
+
+class TestEngineParity:
+    @pytest.mark.parametrize("kernel", KERNELS)
+    def test_disk_and_sharded_engines_match_memory(self, tmp_path, kernel):
+        database, queries = small_dataset(17)
+        matrix = pam30()
+        gap_model = FixedGapModel(-8)
+        memory = OasisEngine.build(
+            database, matrix=matrix, gap_model=gap_model, kernel="reference"
+        )
+        disk = OasisEngine.build_on_disk(
+            database,
+            matrix,
+            tmp_path / "image.oasis",
+            gap_model=gap_model,
+            kernel=kernel,
+        )
+        sharded = ShardedEngine.build(
+            database, matrix, gap_model, shard_count=3, kernel=kernel
+        )
+        try:
+            for query in queries[:3]:
+                expected = [
+                    (hit.sequence_index, hit.score, hit.evalue)
+                    for hit in memory.search(query, evalue=1_000.0)
+                ]
+                for engine in (disk, sharded):
+                    result = engine.search(query, evalue=1_000.0)
+                    actual = [
+                        (hit.sequence_index, hit.score, hit.evalue) for hit in result
+                    ]
+                    assert actual == expected
+                    assert result.statistics.kernel == kernel
+        finally:
+            disk.cursor.close()
+            sharded.close()
+
+
+class TestKernelSelection:
+    def test_available_kernels(self):
+        assert set(available_kernels()) >= {"scalar", "batched", "reference"}
+
+    def test_default_is_scalar(self, monkeypatch):
+        monkeypatch.delenv("OASIS_KERNEL", raising=False)
+        assert isinstance(get_kernel(), ScalarKernel)
+
+    def test_environment_selects_the_kernel(self, monkeypatch):
+        monkeypatch.setenv("OASIS_KERNEL", "batched")
+        assert isinstance(get_kernel(), BatchedKernel)
+
+    def test_explicit_name_beats_environment(self, monkeypatch):
+        monkeypatch.setenv("OASIS_KERNEL", "batched")
+        assert isinstance(get_kernel("reference"), ReferenceKernel)
+
+    def test_instance_passes_through(self):
+        kernel = BatchedKernel()
+        assert get_kernel(kernel) is kernel
+
+    def test_unknown_name_is_rejected(self):
+        with pytest.raises(ValueError, match="unknown expansion kernel"):
+            get_kernel("simd")
+
+    def test_statistics_record_the_kernel(self):
+        database, queries = small_dataset(5)
+        engine = OasisEngine.build(database, matrix=pam30(), kernel="batched")
+        result = engine.search(queries[0], evalue=1_000.0)
+        assert engine.kernel == "batched"
+        assert result.statistics.kernel == "batched"
+        assert result.statistics.as_dict()["kernel"] == "batched"
+
+    def test_expanding_a_discarded_column_is_rejected(self):
+        database, _ = small_dataset(5)
+        cursor = GeneralizedSuffixTree.build(database)
+        context = ExpansionContext(
+            query_codes=np.array([0, 1, 2], dtype=np.int64),
+            score_lookup=pam30().lookup,
+            gap_penalty=-8,
+            heuristic=np.zeros(4, dtype=np.int64),
+            min_score=10,
+        )
+        dead = SearchNode(
+            tree_node=cursor.root,
+            column=None,
+            max_score=0,
+            f=0,
+            b=0,
+            state=NodeState.UNVIABLE,
+            depth=0,
+        )
+        child = next(iter(cursor.children(cursor.root)))
+        arc = cursor.arc_symbols(child)
+        for kernel in (ScalarKernel(), BatchedKernel()):
+            with pytest.raises(ValueError, match="discarded"):
+                kernel.expand_arc(dead, child, arc, cursor.is_leaf(child), context)

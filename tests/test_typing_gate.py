@@ -43,6 +43,7 @@ GATE_FILES = (
     "repro/sharding/remote.py",
     "repro/storage/buffer_pool.py",
     "repro/analysis/framework.py",
+    "repro/analysis/kernelpurity.py",
     "repro/analysis/lockorder.py",
     "repro/analysis/signalsafety.py",
 )
